@@ -1,0 +1,73 @@
+//! Scale-invariance study (extension): the paper's headline shapes must
+//! hold across data-set scales, since COLT's decisions depend only on
+//! relative table sizes and selectivities (DESIGN.md §2's substitution
+//! argument). Runs the stable and shifting experiments at three scales
+//! and reports the headline metrics side by side.
+
+use colt_bench::{fmt_ms, seed};
+use colt_core::ColtConfig;
+use colt_harness::{convergence_point, run_colt, run_offline};
+use colt_workload::{generate, presets};
+
+fn main() {
+    println!("# Scale invariance of the headline results");
+    println!();
+    println!(
+        "  {:<7} {:>10} | {:>12} {:>12} | {:>12} {:>12}",
+        "scale", "tuples", "f3 tail dev", "f3 converge", "f4 overall", "f4 phase-best"
+    );
+    for scale in [0.01f64, 0.025, 0.05] {
+        let data = generate(scale, seed());
+
+        // Figure 3 metrics.
+        let stable = presets::stable(&data, seed());
+        let off3 = run_offline(&data.db, &stable.queries, &stable.queries, stable.budget_pages);
+        let colt3 = run_colt(
+            &data.db,
+            &stable.queries,
+            ColtConfig { storage_budget_pages: stable.budget_pages, ..Default::default() },
+        );
+        let tail = 100..stable.queries.len();
+        let dev = (colt3.range_millis(tail.clone()) / off3.range_millis(tail) - 1.0) * 100.0;
+        let conv = convergence_point(&colt3, &off3, 20, 0.10)
+            .map(|p| format!("q{p}"))
+            .unwrap_or_else(|| "—".into());
+
+        // Figure 4 metrics.
+        let shifting = presets::shifting(&data, seed());
+        let off4 =
+            run_offline(&data.db, &shifting.queries, &shifting.queries, shifting.budget_pages);
+        let colt4 = run_colt(
+            &data.db,
+            &shifting.queries,
+            ColtConfig { storage_budget_pages: shifting.budget_pages, ..Default::default() },
+        );
+        let overall = (1.0 - colt4.total_millis() / off4.total_millis()) * 100.0;
+        let best = [350..650, 700..1000, 1050..1350]
+            .into_iter()
+            .map(|s| (1.0 - colt4.range_millis(s.clone()) / off4.range_millis(s)) * 100.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        println!(
+            "  {:<7} {:>10} | {:>11.1}% {:>12} | {:>11.1}% {:>11.1}%",
+            scale,
+            data.db.total_tuples(),
+            dev,
+            conv,
+            overall,
+            best,
+        );
+        eprintln!(
+            "    [scale {scale}: stable COLT {} OFFLINE {}; shifting COLT {} OFFLINE {}]",
+            fmt_ms(colt3.total_millis()),
+            fmt_ms(off3.total_millis()),
+            fmt_ms(colt4.total_millis()),
+            fmt_ms(off4.total_millis()),
+        );
+    }
+    println!();
+    println!("  (f3 tail dev = COLT-vs-OFFLINE deviation after query 100 on the");
+    println!("   stable workload, paper ≈1%; f4 overall = COLT's reduction on the");
+    println!("   shifting workload, paper ≈33%. The shapes — convergence on");
+    println!("   stable, a clear win on shifting — must hold at every scale.)");
+}

@@ -1,0 +1,67 @@
+//! # colt-bench
+//!
+//! Benchmark harness for the COLT reproduction: one binary per paper
+//! exhibit (`table1`, `fig3`, `fig4`, `fig5`, `fig6`, `ablation`) plus
+//! Criterion micro-benchmarks of the substrates (`cargo bench`).
+//!
+//! Every binary reads two environment variables:
+//!
+//! * `COLT_SCALE` — data scale relative to the paper's Table 1
+//!   (default: 0.025 = 1/40),
+//! * `COLT_SEED` — master seed (default: 42).
+//!
+//! Results are printed to stdout in a form that pastes directly into
+//! `EXPERIMENTS.md`.
+
+use colt_workload::{generate, TpchData, DEFAULT_SCALE};
+
+/// Data scale from `COLT_SCALE` (default [`DEFAULT_SCALE`]).
+pub fn scale() -> f64 {
+    std::env::var("COLT_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SCALE)
+}
+
+/// Master seed from `COLT_SEED` (default 42).
+pub fn seed() -> u64 {
+    std::env::var("COLT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Generate the experiment data set, logging shape and timing.
+pub fn build_data() -> TpchData {
+    let scale = scale();
+    let seed = seed();
+    let t0 = std::time::Instant::now();
+    let data = generate(scale, seed);
+    eprintln!(
+        "[setup] generated TPC-H x4 at scale {scale} (seed {seed}): {} tables, {} tuples, {} attributes in {:.1?}",
+        data.db.table_count(),
+        data.db.total_tuples(),
+        data.db.indexable_attributes(),
+        t0.elapsed()
+    );
+    data
+}
+
+/// Format a simulated-ms quantity compactly.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 10_000.0 {
+        format!("{:.1} s", ms / 1000.0)
+    } else {
+        format!("{ms:.1} ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_defaults() {
+        // Do not set the env vars: defaults must apply.
+        assert!(super::scale() > 0.0);
+        assert!(super::seed() > 0);
+    }
+
+    #[test]
+    fn fmt_ms_shapes() {
+        assert_eq!(super::fmt_ms(12.34), "12.3 ms");
+        assert_eq!(super::fmt_ms(123_456.0), "123.5 s");
+    }
+}

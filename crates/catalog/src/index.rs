@@ -1,0 +1,157 @@
+//! Single-column index descriptors, size estimation, and builds.
+//!
+//! COLT only considers single-column indices (paper §2), so an index is
+//! identified by the [`ColRef`] it covers. The optimizer costs both real
+//! and hypothetical indices from the *estimates* here; the executor uses
+//! the actual B+ tree once an index is materialized.
+
+use crate::schema::ColRef;
+use colt_storage::btree::default_order;
+use colt_storage::{BPlusTree, HeapTable, IoStats, Value};
+use serde::{Deserialize, Serialize};
+
+/// Estimated physical shape of a (possibly hypothetical) index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexEstimate {
+    /// Number of entries (table rows).
+    pub entries: u64,
+    /// Estimated leaf pages.
+    pub leaf_pages: u64,
+    /// Estimated total pages (leaves + internals).
+    pub pages: u64,
+    /// Estimated height (levels, including the leaf level).
+    pub height: u32,
+}
+
+impl IndexEstimate {
+    /// Estimate the shape of an index over `rows` keys of width
+    /// `key_width` bytes, assuming the builder's ~90% fill factor.
+    pub fn for_table(rows: u64, key_width: usize) -> Self {
+        let order = default_order(key_width) as u64;
+        let fill = (order * 9 / 10).max(4);
+        if rows == 0 {
+            return IndexEstimate { entries: 0, leaf_pages: 1, pages: 1, height: 1 };
+        }
+        let leaf_pages = rows.div_ceil(fill);
+        let mut pages = leaf_pages;
+        let mut level = leaf_pages;
+        let mut height = 1;
+        while level > 1 {
+            level = level.div_ceil(fill);
+            pages += level;
+            height += 1;
+        }
+        IndexEstimate { entries: rows, leaf_pages, pages, height }
+    }
+
+    /// Estimated size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.pages * colt_storage::PAGE_SIZE as u64
+    }
+}
+
+/// A materialized single-column index.
+#[derive(Debug, Clone)]
+pub struct MaterializedIndex {
+    /// The indexed column.
+    pub col: ColRef,
+    /// The physical tree.
+    pub tree: BPlusTree,
+    /// Physical work that was charged to build it.
+    pub build_io: IoStats,
+    /// Whether the index belongs to the pre-tuned base configuration
+    /// (exempt from the on-line storage budget) or was materialized by a
+    /// tuner at run time.
+    pub origin: IndexOrigin,
+}
+
+/// Who installed an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexOrigin {
+    /// Part of the pre-tuned physical design the system started with.
+    Base,
+    /// Materialized on-line by a tuner; counts against the budget `B`.
+    Online,
+}
+
+/// Build an index over `column` of `heap`, charging the physical work to
+/// the returned [`IoStats`]: a full sequential heap scan, an external
+/// sort (`n log2 n` comparisons), and the writes of every index page.
+pub fn build_index(heap: &HeapTable, col: ColRef, key_width: usize) -> (BPlusTree, IoStats) {
+    let mut io = IoStats::new();
+    let column = col.column as usize;
+    let mut entries: Vec<(Value, colt_storage::RowId)> = heap
+        .scan(&mut io)
+        .filter_map(|(rid, row)| row.get(column).cloned().map(|v| (v, rid)))
+        .collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let n = entries.len() as u64;
+    if n > 1 {
+        io.cpu_ops += n * (64 - n.leading_zeros() as u64);
+    }
+    let tree = BPlusTree::bulk_load(key_width, entries);
+    io.pages_written += tree.page_count() as u64;
+    (tree, io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableId;
+    use colt_storage::row_from;
+
+    fn heap(n: i64) -> HeapTable {
+        let mut h = HeapTable::new(8);
+        for i in 0..n {
+            h.insert(row_from(vec![Value::Int(i % 97)]));
+        }
+        h
+    }
+
+    #[test]
+    fn estimate_empty() {
+        let e = IndexEstimate::for_table(0, 8);
+        assert_eq!(e.pages, 1);
+        assert_eq!(e.height, 1);
+    }
+
+    #[test]
+    fn estimate_grows_and_heightens() {
+        let small = IndexEstimate::for_table(1_000, 8);
+        let large = IndexEstimate::for_table(1_000_000, 8);
+        assert!(large.pages > small.pages * 500);
+        assert!(large.height >= small.height);
+        assert!(large.byte_size() > 0);
+    }
+
+    #[test]
+    fn estimate_close_to_real_build() {
+        let h = heap(50_000);
+        let (tree, _) = build_index(&h, ColRef::new(TableId(0), 0), 8);
+        let est = IndexEstimate::for_table(50_000, 8);
+        let real = tree.page_count() as f64;
+        let ratio = est.pages as f64 / real;
+        assert!((0.5..2.0).contains(&ratio), "estimate {} vs real {}", est.pages, real);
+        assert_eq!(est.height as usize, tree.height());
+    }
+
+    #[test]
+    fn build_charges_scan_sort_write() {
+        let h = heap(10_000);
+        let (tree, io) = build_index(&h, ColRef::new(TableId(0), 0), 8);
+        assert_eq!(tree.len(), 10_000);
+        assert_eq!(io.seq_pages as usize, h.page_count());
+        assert_eq!(io.tuples, 10_000);
+        assert_eq!(io.pages_written as usize, tree.page_count());
+        assert!(io.cpu_ops > 10_000, "sort work charged");
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn build_empty_heap() {
+        let h = HeapTable::new(8);
+        let (tree, io) = build_index(&h, ColRef::new(TableId(0), 0), 8);
+        assert!(tree.is_empty());
+        assert_eq!(io.tuples, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Logical schema: tables, columns, and column references.
+
+use colt_storage::ValueType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a table within a [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// A reference to one column of one table — the unit of indexing in the
+/// paper (COLT materializes single-column indices only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Zero-based position within the table schema.
+    pub column: u32,
+}
+
+impl ColRef {
+    /// Construct a column reference.
+    pub fn new(table: TableId, column: u32) -> Self {
+        ColRef { table, column }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.c{}", self.table.0, self.column)
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Value type.
+    pub vtype: ValueType,
+}
+
+impl Column {
+    /// Construct a column definition.
+    pub fn new(name: impl Into<String>, vtype: ValueType) -> Self {
+        Column { name: name.into(), vtype }
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name, unique within the database.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Construct a table schema.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema { name: name.into(), columns }
+    }
+
+    /// Total payload width of a row in bytes.
+    pub fn row_width(&self) -> usize {
+        self.columns.iter().map(|c| c.vtype.byte_width()).sum()
+    }
+
+    /// Look up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<u32> {
+        self.columns.iter().position(|c| c.name == name).map(|i| i as u32)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "orders",
+            vec![
+                Column::new("o_orderkey", ValueType::Int),
+                Column::new("o_totalprice", ValueType::Float),
+                Column::new("o_comment", ValueType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn row_width_sums_columns() {
+        assert_eq!(schema().row_width(), 8 + 8 + 24);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("o_totalprice"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn colref_display_and_order() {
+        let a = ColRef::new(TableId(1), 2);
+        let b = ColRef::new(TableId(1), 3);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "t1.c2");
+    }
+}

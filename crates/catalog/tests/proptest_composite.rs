@@ -1,0 +1,141 @@
+//! Property tests for composite indices: prefix scans must agree with a
+//! direct filter over the heap for arbitrary data, prefixes, and range
+//! bounds.
+
+use colt_catalog::{build_composite, prefix_scan, CompositeKey, Database, TableSchema, Column};
+use colt_storage::{row_from, IoStats, Value, ValueType};
+use proptest::prelude::*;
+use std::ops::Bound;
+
+fn build_db(rows: &[(i64, i64, i64)]) -> (Database, colt_catalog::TableId) {
+    let mut db = Database::new();
+    let t = db.add_table(TableSchema::new(
+        "t",
+        vec![
+            Column::new("a", ValueType::Int),
+            Column::new("b", ValueType::Int),
+            Column::new("c", ValueType::Int),
+        ],
+    ));
+    db.insert_rows(
+        t,
+        rows.iter().map(|&(a, b, c)| row_from(vec![Value::Int(a), Value::Int(b), Value::Int(c)])),
+    );
+    db.analyze_all();
+    (db, t)
+}
+
+fn map_bound(b: Option<(i64, bool)>, upper: bool) -> Bound<Value> {
+    match b {
+        None => Bound::Unbounded,
+        Some((v, true)) => Bound::Included(Value::Int(v)),
+        Some((v, false)) => {
+            let _ = upper;
+            Bound::Excluded(Value::Int(v))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-prefix and partial-prefix scans agree with direct filtering.
+    #[test]
+    fn prefix_scan_matches_filter(
+        rows in prop::collection::vec((0i64..12, 0i64..15, 0i64..50), 0..600),
+        pa in 0i64..14,
+        pb in 0i64..17,
+        prefix_len in 1usize..3,
+    ) {
+        let (db, t) = build_db(&rows);
+        let key = CompositeKey::new(t, vec![0, 1]);
+        let m = build_composite(&db, &key);
+
+        let prefix: Vec<Value> = match prefix_len {
+            1 => vec![Value::Int(pa)],
+            _ => vec![Value::Int(pa), Value::Int(pb)],
+        };
+        let mut io = IoStats::new();
+        let mut got = prefix_scan(&m, &prefix, None, &mut io);
+        got.sort();
+
+        let mut want: Vec<_> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b, _))| {
+                a == pa && (prefix_len == 1 || b == pb)
+            })
+            .map(|(i, _)| colt_storage::RowId(i as u32))
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Prefix + range on the next column agrees with direct filtering
+    /// for every bound shape.
+    #[test]
+    fn prefix_plus_range_matches_filter(
+        rows in prop::collection::vec((0i64..10, 0i64..30, 0i64..50), 0..600),
+        pa in 0i64..12,
+        lo in prop::option::of((0i64..32, any::<bool>())),
+        hi in prop::option::of((0i64..32, any::<bool>())),
+    ) {
+        let (db, t) = build_db(&rows);
+        let key = CompositeKey::new(t, vec![0, 1]);
+        let m = build_composite(&db, &key);
+
+        let lo_b = map_bound(lo, false);
+        let hi_b = map_bound(hi, true);
+        let mut io = IoStats::new();
+        let mut got = prefix_scan(&m, &[Value::Int(pa)], Some((lo_b, hi_b)), &mut io);
+        got.sort();
+
+        let in_lo = |b: i64| match lo {
+            None => true,
+            Some((v, true)) => b >= v,
+            Some((v, false)) => b > v,
+        };
+        let in_hi = |b: i64| match hi {
+            None => true,
+            Some((v, true)) => b <= v,
+            Some((v, false)) => b < v,
+        };
+        let mut want: Vec<_> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b, _))| a == pa && in_lo(b) && in_hi(b))
+            .map(|(i, _)| colt_storage::RowId(i as u32))
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Three-column composites: scans keyed by any prefix length agree
+    /// with filtering.
+    #[test]
+    fn three_column_prefixes(
+        rows in prop::collection::vec((0i64..6, 0i64..6, 0i64..6), 0..400),
+        pa in 0i64..7,
+        pb in 0i64..7,
+        pc in 0i64..7,
+        k in 1usize..4,
+    ) {
+        let (db, t) = build_db(&rows);
+        let key = CompositeKey::new(t, vec![0, 1, 2]);
+        let m = build_composite(&db, &key);
+        let full = [Value::Int(pa), Value::Int(pb), Value::Int(pc)];
+        let mut io = IoStats::new();
+        let mut got = prefix_scan(&m, &full[..k], None, &mut io);
+        got.sort();
+        let mut want: Vec<_> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b, c))| {
+                a == pa && (k < 2 || b == pb) && (k < 3 || c == pc)
+            })
+            .map(|(i, _)| colt_storage::RowId(i as u32))
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

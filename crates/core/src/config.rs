@@ -1,0 +1,140 @@
+//! COLT configuration parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the COLT framework. Defaults are the values the
+/// paper's experimental study used (§6.1): epoch length `w = 10`, history
+/// depth `h = 12`, at most 20 what-if calls per epoch, and 90% confidence
+/// intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColtConfig {
+    /// Epoch length `w`: number of queries per profiling epoch.
+    pub epoch_length: usize,
+    /// History depth `h`: number of epochs in the system's memory; also
+    /// the forecasting horizon of the Self-Organizer.
+    pub history_epochs: usize,
+    /// `#WI_max`: hard cap on what-if calls per epoch.
+    pub max_whatif_per_epoch: u64,
+    /// z-score of the confidence intervals (1.645 ≈ 90%).
+    pub confidence_z: f64,
+    /// On-line storage budget `B`, in 8 KiB pages.
+    pub storage_budget_pages: u64,
+    /// Selectivity boundary between the "selective" and "non-selective"
+    /// clustering buckets (paper: 2%).
+    pub selective_boundary: f64,
+    /// `r` value at (or above) which profiling runs at full budget
+    /// (paper: 1.3).
+    pub full_budget_ratio: f64,
+    /// Exponential smoothing factor for the crude `BenefitC` series used
+    /// by hot-set selection (weight of the most recent epoch).
+    pub smoothing_alpha: f64,
+    /// Decay factor of the recency-weighted forecast (weight ratio
+    /// between consecutive past epochs). The default 1.0 gives a flat
+    /// window over the last `h` epochs, matching the paper's remark
+    /// that the forecasting model "uses a window of past measurements"
+    /// whose length coincides with the worst-case noise-burst length.
+    pub forecast_decay: f64,
+    /// Upper bound on the size of the hot set; keeps the accurate
+    /// profiling level affordable even if the crude clustering puts many
+    /// candidates in the top group.
+    pub max_hot_set: usize,
+    /// Candidates unseen for this many epochs are evicted from `C`.
+    pub candidate_ttl_epochs: usize,
+    /// Reorganization hysteresis: a knapsack solution that requires new
+    /// builds replaces the current materialized set only when its
+    /// aggregate `NetBenefit` exceeds the current set's by this relative
+    /// margin. Damps materialization churn between near-tied indices
+    /// whose per-epoch benefit estimates fluctuate with query-mix noise
+    /// (a stabilization on top of the paper's `MatCost` term; set to 0
+    /// to ablate it — see the `ablation` bench).
+    pub swap_margin: f64,
+    /// Page budget for the on-line multi-column extension
+    /// (`colt_core::composite_ext`); 0 (the default) disables it and
+    /// keeps the tuner exactly as the paper describes.
+    pub composite_budget_pages: u64,
+    /// Whether re-budgeting self-regulates the what-if budget (the
+    /// paper's headline mechanism). When false the tuner always runs at
+    /// `#WI_max`, modelling the fixed-intensity on-line tuners the paper
+    /// contrasts against; used by the `ablation` bench.
+    pub self_regulation: bool,
+    /// Seed of COLT's internal (deterministic) sampling PRNG.
+    pub seed: u64,
+}
+
+impl Default for ColtConfig {
+    fn default() -> Self {
+        ColtConfig {
+            epoch_length: 10,
+            history_epochs: 12,
+            max_whatif_per_epoch: 20,
+            confidence_z: 1.645,
+            storage_budget_pages: 4096,
+            selective_boundary: 0.02,
+            full_budget_ratio: 1.3,
+            smoothing_alpha: 0.4,
+            forecast_decay: 1.0,
+            max_hot_set: 10,
+            candidate_ttl_epochs: 12,
+            swap_margin: 0.5,
+            composite_budget_pages: 0,
+            self_regulation: true,
+            seed: 0x0C01_7001,
+        }
+    }
+}
+
+impl ColtConfig {
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_length == 0 {
+            return Err("epoch_length must be positive".into());
+        }
+        if self.history_epochs == 0 {
+            return Err("history_epochs must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.selective_boundary) {
+            return Err("selective_boundary must be in [0, 1]".into());
+        }
+        if self.full_budget_ratio <= 1.0 {
+            return Err("full_budget_ratio must exceed 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.smoothing_alpha) || !(0.0..=1.0).contains(&self.forecast_decay) {
+            return Err("smoothing factors must be in [0, 1]".into());
+        }
+        if !(0.0..=10.0).contains(&self.swap_margin) {
+            return Err("swap_margin must be in [0, 10]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = ColtConfig::default();
+        assert_eq!(c.epoch_length, 10);
+        assert_eq!(c.history_epochs, 12);
+        assert_eq!(c.max_whatif_per_epoch, 20);
+        assert!((c.confidence_z - 1.645).abs() < 1e-9);
+        assert!((c.selective_boundary - 0.02).abs() < 1e-12);
+        assert!((c.full_budget_ratio - 1.3).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let cases = [
+            ColtConfig { epoch_length: 0, ..Default::default() },
+            ColtConfig { full_budget_ratio: 1.0, ..Default::default() },
+            ColtConfig { selective_boundary: 1.5, ..Default::default() },
+            ColtConfig { smoothing_alpha: -0.1, ..Default::default() },
+            ColtConfig { swap_margin: -1.0, ..Default::default() },
+        ];
+        for c in cases {
+            assert!(c.validate().is_err(), "{c:?}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Benefit forecasting for `NetBenefit` (paper §5).
+//!
+//! The Self-Organizer predicts, from the benefit an index delivered in
+//! the past `h` epochs, the benefit it will deliver in each of the next
+//! `h` epochs:
+//!
+//! ```text
+//! NetBenefit(I) = Σ_{j=1..h} PredBenefit_j(I) − MatCost(I)
+//! ```
+//!
+//! The paper's exact forecasting function lives in an unavailable tech
+//! report; DESIGN.md documents this reconstruction. We use a
+//! recency-weighted level estimate: the per-epoch benefit series
+//! `b_1 … b_k` (most recent first) is averaged with geometric weights
+//! `λ^(i-1)` and the level is projected flat over the horizon. The
+//! reconstruction preserves the three observable properties the paper
+//! pins down: (a) the forecast of an unused index converges to zero,
+//! (b) the estimator's memory window is `h` epochs — which is why noise
+//! bursts comparable to the window length hurt (paper §6.2, "Effect of
+//! Noise"), and (c) recent epochs dominate, enabling fast adaptation.
+
+/// Recency-weighted level of a benefit series (most recent first) over
+/// a window of `window` epochs. A series shorter than the window is
+/// implicitly padded with zeros: an index whose measurements only
+/// started a few epochs ago had zero benefit before that, and treating
+/// the missing history as anything else would extrapolate a single
+/// bursty epoch over the whole forecast horizon.
+pub fn level(series: &[f64], decay: f64, window: usize) -> f64 {
+    let window = window.max(series.len()).max(1);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut w = 1.0;
+    for i in 0..window {
+        num += w * series.get(i).copied().unwrap_or(0.0);
+        den += w;
+        w *= decay;
+    }
+    num / den
+}
+
+/// `Σ_{j=1..horizon} PredBenefit_j`: total benefit forecast over the next
+/// `horizon` epochs (a flat projection of the level).
+pub fn predicted_total(series: &[f64], decay: f64, horizon: usize) -> f64 {
+    level(series, decay, horizon) * horizon as f64
+}
+
+/// `NetBenefit(I)`: forecasted total benefit minus the materialization
+/// cost (`mat_cost` must be 0 for an already-materialized index).
+pub fn net_benefit(series: &[f64], decay: f64, horizon: usize, mat_cost: f64) -> f64 {
+    predicted_total(series, decay, horizon) - mat_cost
+}
+
+/// Forecast from a series whose entries are already window-smoothed
+/// (each entry is `Count(Q_i)/h`-weighted, i.e. averaged over the
+/// memory window): the most recent entry *is* the level, and smoothing
+/// it again would double-damp the forecast — reaction to a workload
+/// shift would ramp quadratically instead of linearly with the shift's
+/// age. Projects the latest level flat over the horizon.
+pub fn net_benefit_from_smoothed(series: &[f64], horizon: usize, mat_cost: f64) -> f64 {
+    series.first().copied().unwrap_or(0.0) * horizon as f64 - mat_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_predicts_zero() {
+        assert_eq!(level(&[], 0.8, 12), 0.0);
+        assert_eq!(predicted_total(&[], 0.8, 12), 0.0);
+    }
+
+    #[test]
+    fn constant_series_predicts_constant() {
+        let s = [5.0; 12];
+        assert!((level(&s, 0.8, 12) - 5.0).abs() < 1e-12);
+        assert!((predicted_total(&s, 0.8, 12) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recent_epochs_dominate() {
+        // Benefit just appeared (recent high, old zero) vs just vanished.
+        let rising = [10.0, 10.0, 0.0, 0.0, 0.0, 0.0];
+        let falling = [0.0, 0.0, 0.0, 0.0, 10.0, 10.0];
+        assert!(level(&rising, 0.8, 6) > level(&falling, 0.8, 6) * 2.0);
+    }
+
+    #[test]
+    fn unused_index_converges_to_zero() {
+        // An index that stopped being useful: zeros keep arriving at the
+        // front and old benefits age out of the h-window.
+        let mut series: Vec<f64> = vec![10.0; 12];
+        for _ in 0..12 {
+            series.insert(0, 0.0);
+            series.truncate(12);
+        }
+        assert_eq!(level(&series, 0.8, 12), 0.0);
+    }
+
+    #[test]
+    fn net_benefit_subtracts_mat_cost() {
+        let s = [10.0; 12];
+        let nb = net_benefit(&s, 0.8, 12, 50.0);
+        assert!((nb - 70.0).abs() < 1e-9);
+        // Materialized index (mat_cost = 0) keeps the full forecast.
+        assert!((net_benefit(&s, 0.8, 12, 0.0) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_one_is_plain_average() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert!((level(&s, 1.0, 4) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothed_series_uses_latest_level() {
+        assert_eq!(net_benefit_from_smoothed(&[], 12, 5.0), -5.0);
+        let s = [30.0, 90.0, 120.0];
+        // 30 × 12 − 60 = 300.
+        assert!((net_benefit_from_smoothed(&s, 12, 60.0) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_series_padded_with_zeros() {
+        // One strong epoch must NOT be extrapolated over the horizon.
+        let s = [1200.0];
+        assert!((level(&s, 1.0, 12) - 100.0).abs() < 1e-9);
+        assert!((predicted_total(&s, 1.0, 12) - 1200.0).abs() < 1e-9);
+    }
+}

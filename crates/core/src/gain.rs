@@ -1,0 +1,270 @@
+//! Per-(index, cluster) gain statistics with CLT confidence intervals
+//! (paper §4.1).
+//!
+//! For a hot or materialized index `I` and a cluster `Q_i`, the Profiler
+//! accumulates the `QueryGain` measurements obtained through what-if
+//! calls and summarizes them as a confidence interval
+//! `[LowGain(I, Q_i), HighGain(I, Q_i)]` around the sample mean, using
+//! CLT-style bounds at a fixed confidence level.
+//!
+//! Measurements are *time-sensitive*: they were taken against a specific
+//! materialized set. A measurement is consistent only while the
+//! materialized indices on the measured table are unchanged, so the
+//! statistics carry the table's materialization version and reset when
+//! it moves on (paper §4.1, last paragraph of `QueryGain_H`).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance (Welford) over gain samples, tagged with the
+/// materialization version they are consistent with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GainStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    /// Materialization version of the index's table at sampling time.
+    version: u64,
+}
+
+impl GainStats {
+    /// Empty statistics pinned to a materialization version.
+    pub fn new(version: u64) -> Self {
+        GainStats { n: 0, mean: 0.0, m2: 0.0, version }
+    }
+
+    /// Record one gain measurement taken under `version`. If the version
+    /// moved since the last samples were taken, the stale samples are
+    /// soft-discarded first (see [`GainStats::ensure_version`]).
+    pub fn add(&mut self, gain: f64, version: u64) {
+        self.ensure_version(version);
+        self.n += 1;
+        let delta = gain - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (gain - self.mean);
+    }
+
+    /// Ensure the statistics are consistent with `version`. Returns
+    /// whether a (soft) reset happened.
+    ///
+    /// On a version change the stale samples are collapsed into a single
+    /// pseudo-sample that keeps the old mean as a prior. Discarding the
+    /// mean entirely would make a freshly changed configuration read as
+    /// "zero benefit" until re-profiling catches up — and since every
+    /// create/drop on a table invalidates its *sibling* columns, a hard
+    /// reset makes each reorganization sabotage the evidence behind the
+    /// next one, causing materialization churn. The pseudo-sample keeps
+    /// the level while widening the confidence interval back to the
+    /// single-sample state, so the adaptive sampler re-profiles the pair
+    /// aggressively.
+    pub fn ensure_version(&mut self, version: u64) -> bool {
+        if version != self.version {
+            let prior = self.mean;
+            *self = GainStats::new(version);
+            if prior != 0.0 {
+                self.n = 1;
+                self.mean = prior;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of (consistent) samples.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Half-width of the CLT confidence interval `z · s / √n`.
+    ///
+    /// With fewer than two samples the width is infinite — the estimate
+    /// carries no confidence yet, which makes unprofiled pairs maximally
+    /// attractive to the adaptive sampler.
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        z * (self.variance() / self.n as f64).sqrt()
+    }
+
+    /// `LowGain`: conservative lower confidence bound, clamped at zero
+    /// (a gain cannot be negative). Zero when no samples exist.
+    pub fn low(&self, z: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let hw = self.ci_half_width(z);
+        if hw.is_infinite() {
+            // Single sample: no spread information; be conservative but
+            // keep the one observation at half weight.
+            return (self.mean * 0.5).max(0.0);
+        }
+        (self.mean - hw).max(0.0)
+    }
+
+    /// `HighGain`: optimistic upper confidence bound. With fewer than
+    /// two samples, an aggressive multiple of the observed mean (or zero
+    /// if nothing was observed) stands in for the unbounded interval.
+    pub fn high(&self, z: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let hw = self.ci_half_width(z);
+        if hw.is_infinite() {
+            return (self.mean * 2.0).max(0.0);
+        }
+        (self.mean + hw).max(0.0)
+    }
+}
+
+/// Statistics tying one index to one cluster: the gain samples plus
+/// usage counters.
+///
+/// For *materialized* indices the paper tracks the average **positive**
+/// benefit per query: gains are only measured (via reverse what-if) on
+/// queries whose plan actually uses the index, and the per-query benefit
+/// over the cluster is the positive mean scaled by the fraction of
+/// cluster queries that used it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexClusterStats {
+    /// Gain samples from what-if calls.
+    pub gains: GainStats,
+    /// Cluster queries observed while the index was materialized.
+    pub seen: u64,
+    /// Of those, queries whose plan used the index.
+    pub used: u64,
+}
+
+impl IndexClusterStats {
+    /// Empty statistics pinned to a materialization version.
+    pub fn new(version: u64) -> Self {
+        IndexClusterStats { gains: GainStats::new(version), seen: 0, used: 0 }
+    }
+
+    /// Record that a cluster query was observed; `used` notes whether
+    /// the materialized index appeared in its plan.
+    pub fn observe(&mut self, used: bool) {
+        self.seen += 1;
+        if used {
+            self.used += 1;
+        }
+    }
+
+    /// Fraction of cluster queries that used the index (1 when nothing
+    /// was observed yet, the optimistic default for fresh indices).
+    pub fn used_fraction(&self) -> f64 {
+        if self.seen == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.seen as f64
+        }
+    }
+
+    /// Reset usage counters (at version changes).
+    pub fn reset_usage(&mut self) {
+        self.seen = 0;
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_mean_and_variance() {
+        let mut s = GainStats::new(0);
+        for g in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(g, 0);
+        }
+        assert_eq!(s.n(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic data set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_tightens_with_samples() {
+        let mut s = GainStats::new(0);
+        s.add(10.0, 0);
+        s.add(12.0, 0);
+        let wide = s.ci_half_width(1.645);
+        for _ in 0..50 {
+            s.add(11.0, 0);
+        }
+        let narrow = s.ci_half_width(1.645);
+        assert!(narrow < wide);
+        assert!(s.low(1.645) <= s.mean());
+        assert!(s.high(1.645) >= s.mean());
+    }
+
+    #[test]
+    fn version_change_soft_resets_to_prior() {
+        let mut s = GainStats::new(1);
+        s.add(100.0, 1);
+        s.add(100.0, 1);
+        assert_eq!(s.n(), 2);
+        // Configuration changed: the old mean survives as a single
+        // pseudo-sample prior, then the new measurement folds in.
+        s.add(5.0, 2);
+        assert_eq!(s.n(), 2);
+        assert!((s.mean() - 52.5).abs() < 1e-12);
+        assert!(!s.ensure_version(2));
+        assert!(s.ensure_version(3));
+        assert_eq!(s.n(), 1, "prior kept as pseudo-sample");
+        assert!((s.mean() - 52.5).abs() < 1e-12);
+        // The interval is wide again: re-profiling is urgent.
+        assert!(s.ci_half_width(1.645).is_infinite());
+        // A stats object that never saw data resets to empty.
+        let mut empty = GainStats::new(0);
+        assert!(empty.ensure_version(5));
+        assert_eq!(empty.n(), 0);
+    }
+
+    #[test]
+    fn low_never_negative_high_never_below_zero_mean() {
+        let mut s = GainStats::new(0);
+        s.add(1.0, 0);
+        s.add(100.0, 0);
+        assert!(s.low(1.645) >= 0.0);
+        assert!(s.high(1.645) >= s.mean());
+    }
+
+    #[test]
+    fn empty_and_single_sample_bounds() {
+        let s = GainStats::new(0);
+        assert_eq!(s.low(1.645), 0.0);
+        assert_eq!(s.high(1.645), 0.0);
+        let mut s = GainStats::new(0);
+        s.add(10.0, 0);
+        assert!((s.low(1.645) - 5.0).abs() < 1e-12);
+        assert!((s.high(1.645) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_fraction() {
+        let mut ics = IndexClusterStats::new(0);
+        assert_eq!(ics.used_fraction(), 1.0);
+        ics.observe(true);
+        ics.observe(false);
+        ics.observe(false);
+        ics.observe(true);
+        assert!((ics.used_fraction() - 0.5).abs() < 1e-12);
+        ics.reset_usage();
+        assert_eq!(ics.used_fraction(), 1.0);
+    }
+}

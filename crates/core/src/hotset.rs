@@ -1,0 +1,155 @@
+//! Hot-set selection: exact 1-D 2-means clustering of crude benefits
+//! (paper §5, reorganization stage two).
+//!
+//! The Self-Organizer groups the smoothed `BenefitC` estimates of the
+//! remaining candidates into two clusters with minimum within-cluster
+//! variance; the indices in the top cluster become the new hot set. In
+//! one dimension the optimal 2-clustering is a threshold on the sorted
+//! values, so it can be found exactly by scanning all split points.
+
+use colt_catalog::ColRef;
+
+/// Split scored values into (top cluster, bottom cluster) by exact
+/// 2-means. Returns the members of the top cluster, capped at `max_hot`
+/// (highest benefits kept). Candidates with non-positive benefit are
+/// never hot.
+pub fn select_hot(benefits: &[(ColRef, f64)], max_hot: usize) -> Vec<ColRef> {
+    let mut positive: Vec<(ColRef, f64)> =
+        benefits.iter().copied().filter(|(_, b)| *b > 0.0).collect();
+    if positive.is_empty() || max_hot == 0 {
+        return Vec::new();
+    }
+    // Sort ascending by benefit (ties broken by column for determinism).
+    positive.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    if positive.len() == 1 {
+        return vec![positive[0].0];
+    }
+
+    let values: Vec<f64> = positive.iter().map(|(_, b)| *b).collect();
+    let split = best_split(&values);
+
+    let mut hot: Vec<ColRef> = positive[split..].iter().map(|(c, _)| *c).collect();
+    if hot.len() > max_hot {
+        // Cap: keep the highest-benefit members.
+        hot = hot[hot.len() - max_hot..].to_vec();
+    } else {
+        // Fill spare capacity with the best candidates below the split.
+        // Without this, a top cluster of candidates that can never be
+        // materialized (e.g. two near-tied large indices competing for
+        // one budget slot) would starve every mid-benefit candidate of
+        // accurate profiling indefinitely. The adaptive sampler still
+        // prioritizes within the hot set, and the what-if budget caps
+        // the added overhead.
+        let spare = max_hot - hot.len();
+        hot.extend(positive[..split].iter().rev().take(spare).map(|(c, _)| *c));
+    }
+    hot.sort_unstable();
+    hot
+}
+
+/// Index `k` minimizing the total within-cluster variance of
+/// `values[..k]` and `values[k..]` over sorted input; `1 <= k < n`.
+fn best_split(values: &[f64]) -> usize {
+    let n = values.len();
+    debug_assert!(n >= 2);
+    // Prefix sums for O(1) segment cost.
+    let mut sum = vec![0.0; n + 1];
+    let mut sumsq = vec![0.0; n + 1];
+    for (i, &v) in values.iter().enumerate() {
+        sum[i + 1] = sum[i] + v;
+        sumsq[i + 1] = sumsq[i] + v * v;
+    }
+    let seg_cost = |a: usize, b: usize| -> f64 {
+        // Sum of squared deviations of values[a..b].
+        let len = (b - a) as f64;
+        if len <= 0.0 {
+            return 0.0;
+        }
+        let s = sum[b] - sum[a];
+        let ss = sumsq[b] - sumsq[a];
+        (ss - s * s / len).max(0.0)
+    };
+    let mut best_k = 1;
+    let mut best_cost = f64::INFINITY;
+    for k in 1..n {
+        let cost = seg_cost(0, k) + seg_cost(k, n);
+        if cost < best_cost {
+            best_cost = cost;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_catalog::TableId;
+
+    fn col(i: u32) -> ColRef {
+        ColRef::new(TableId(0), i)
+    }
+
+    #[test]
+    fn clear_separation_found() {
+        let benefits = vec![
+            (col(0), 1.0),
+            (col(1), 1.2),
+            (col(2), 0.9),
+            (col(3), 100.0),
+            (col(4), 95.0),
+        ];
+        // With room for exactly the top cluster, 2-means isolates it.
+        let hot = select_hot(&benefits, 2);
+        assert_eq!(hot, vec![col(3), col(4)]);
+        // Spare capacity is filled with the next-best candidates.
+        let hot = select_hot(&benefits, 4);
+        assert_eq!(hot, vec![col(0), col(1), col(3), col(4)]);
+        // All positive candidates fit.
+        assert_eq!(select_hot(&benefits, 10).len(), 5);
+    }
+
+    #[test]
+    fn nonpositive_benefits_never_hot() {
+        let benefits = vec![(col(0), 0.0), (col(1), -3.0)];
+        assert!(select_hot(&benefits, 10).is_empty());
+    }
+
+    #[test]
+    fn single_positive_candidate_is_hot() {
+        let benefits = vec![(col(0), 0.0), (col(1), 5.0)];
+        assert_eq!(select_hot(&benefits, 10), vec![col(1)]);
+    }
+
+    #[test]
+    fn cap_keeps_best() {
+        let benefits: Vec<_> = (0..10).map(|i| (col(i), 100.0 + i as f64)).collect();
+        let hot = select_hot(&benefits, 3);
+        assert_eq!(hot, vec![col(7), col(8), col(9)]);
+        // Non-positive candidates never fill spare slots.
+        let benefits = vec![(col(0), 5.0), (col(1), 0.0), (col(2), -1.0)];
+        assert_eq!(select_hot(&benefits, 3), vec![col(0)]);
+    }
+
+    #[test]
+    fn uniform_values_split_somewhere() {
+        let benefits: Vec<_> = (0..6).map(|i| (col(i), 10.0)).collect();
+        let hot = select_hot(&benefits, 10);
+        assert!(!hot.is_empty());
+        assert!(hot.len() <= 6);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(select_hot(&[], 10).is_empty());
+        assert!(select_hot(&[(col(0), 5.0)], 0).is_empty());
+    }
+
+    #[test]
+    fn split_matches_brute_force_variance() {
+        let values = vec![1.0, 1.5, 2.0, 8.0, 9.0, 9.5];
+        let k = best_split(&values);
+        assert_eq!(k, 3, "split between 2.0 and 8.0");
+    }
+}

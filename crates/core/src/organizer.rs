@@ -1,0 +1,459 @@
+//! The Self-Organizer (paper §5): reorganization and re-budgeting at
+//! every epoch boundary.
+//!
+//! **Reorganization.** The new materialized set is the solution of a 0/1
+//! KNAPSACK over `H ∪ M`: the knapsack size is the storage budget `B`,
+//! each index occupies `IndexSize(I)` pages and provides
+//! `NetBenefit(I) = Σ_j PredBenefit_j(I) − MatCost(I)` units of value
+//! (`MatCost = 0` for an already-materialized index). The hot set for
+//! the next epoch is then chosen from the remaining candidates by exact
+//! 2-means clustering of their smoothed crude benefits.
+//!
+//! **Re-budgeting.** The potential of the current hot indices is
+//! assessed under a best-case scenario: their benefits are replaced by
+//! the upper confidence bounds and the knapsack is solved again, giving
+//! an alternative set `M′`. The what-if budget of the next epoch follows
+//! the ratio `r = NetBenefit(M′) / NetBenefit(M)`: profiling is
+//! suspended at `r = 1` and maxed out at `r ≥ 1.3`, linear in between.
+//! This is the mechanism that lets COLT hibernate on stable workloads
+//! and wake up at phase shifts.
+
+use crate::config::ColtConfig;
+use crate::forecast;
+use crate::hotset::select_hot;
+use crate::knapsack::{self, Item};
+use crate::profiler::{GainMode, Profiler};
+use colt_catalog::{ColRef, Database, PhysicalConfig};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Per-epoch benefit series for one index: conservative and optimistic
+/// totals, most recent epoch first.
+#[derive(Debug, Clone, Default)]
+struct BenefitSeries {
+    conservative: VecDeque<f64>,
+    optimistic: VecDeque<f64>,
+}
+
+/// The decision produced at an epoch boundary.
+#[derive(Debug, Clone)]
+pub struct ReorgDecision {
+    /// The new materialized set (on-line indices only).
+    pub new_materialized: BTreeSet<ColRef>,
+    /// Indices to build (in `new_materialized`, not yet materialized).
+    pub to_create: Vec<ColRef>,
+    /// Indices to drop (materialized on-line, not in the new set).
+    pub to_drop: Vec<ColRef>,
+    /// The hot set for the next epoch.
+    pub new_hot: BTreeSet<ColRef>,
+    /// What-if budget for the next epoch (`#WI_lim`).
+    pub next_budget: u64,
+    /// The re-budgeting ratio `r = NetBenefit(M′)/NetBenefit(M)`.
+    pub ratio: f64,
+    /// Aggregate `NetBenefit(M)` under normal estimates.
+    pub net_benefit_m: f64,
+    /// Aggregate `NetBenefit(M′)` under the best-case scenario.
+    pub net_benefit_m_prime: f64,
+}
+
+/// The Self-Organizer.
+#[derive(Debug)]
+pub struct SelfOrganizer {
+    history_epochs: usize,
+    budget_pages: u64,
+    max_whatif: u64,
+    full_budget_ratio: f64,
+    max_hot: usize,
+    swap_margin: f64,
+    self_regulation: bool,
+    series: HashMap<ColRef, BenefitSeries>,
+}
+
+impl SelfOrganizer {
+    /// Build from the COLT configuration.
+    pub fn new(config: &ColtConfig) -> Self {
+        SelfOrganizer {
+            history_epochs: config.history_epochs,
+            budget_pages: config.storage_budget_pages,
+            max_whatif: config.max_whatif_per_epoch,
+            full_budget_ratio: config.full_budget_ratio,
+            max_hot: config.max_hot_set,
+            swap_margin: config.swap_margin,
+            self_regulation: config.self_regulation,
+            series: HashMap::new(),
+        }
+    }
+
+    /// Estimated cost (in cost units) of materializing an index on
+    /// `col`: a sequential heap scan, an external sort, and the index
+    /// page writes — mirroring `colt_catalog::build_index`'s charges.
+    pub fn estimated_mat_cost(db: &Database, col: ColRef) -> f64 {
+        let t = db.table(col.table);
+        let n = t.heap.row_count() as f64;
+        let pages = t.heap.page_count() as f64;
+        let est = db.index_estimate(col);
+        let c = &db.cost;
+        let sort_ops = if n > 1.0 { n * n.log2() } else { 0.0 };
+        c.seq_page_cost * pages
+            + c.cpu_tuple_cost * n
+            + c.cpu_operator_cost * sort_ops
+            + c.page_write_cost * est.pages as f64
+    }
+
+    /// Fold the finished epoch's measured benefits into the per-index
+    /// series for every index in `H ∪ M`, and age out series of indices
+    /// that left both sets.
+    pub fn record_epoch(
+        &mut self,
+        profiler: &Profiler,
+        config: &PhysicalConfig,
+        hot: &BTreeSet<ColRef>,
+    ) {
+        let mut active: BTreeSet<ColRef> = hot.clone();
+        active.extend(config.online_columns());
+
+        self.series.retain(|col, _| active.contains(col));
+        for &col in &active {
+            let (cons, opt) = if config.contains(col) {
+                let b = profiler.epoch_benefit(col, GainMode::Materialized);
+                (b, b)
+            } else {
+                (
+                    profiler.epoch_benefit(col, GainMode::HotConservative),
+                    profiler.epoch_benefit(col, GainMode::HotOptimistic),
+                )
+            };
+            let s = self.series.entry(col).or_default();
+            s.conservative.push_front(cons);
+            s.optimistic.push_front(opt);
+            while s.conservative.len() > self.history_epochs {
+                s.conservative.pop_back();
+                s.optimistic.pop_back();
+            }
+        }
+    }
+
+    /// Net benefit of an index from its recorded series.
+    fn net_benefit_of(
+        &self,
+        db: &Database,
+        config: &PhysicalConfig,
+        profiler: &Profiler,
+        col: ColRef,
+        optimistic: bool,
+    ) -> f64 {
+        let mat_cost = if config.contains(col) { 0.0 } else { Self::estimated_mat_cost(db, col) };
+        let series: Vec<f64> = match self.series.get(&col) {
+            Some(s) if optimistic => s.optimistic.iter().copied().collect(),
+            Some(s) => s.conservative.iter().copied().collect(),
+            None => Vec::new(),
+        };
+        // Series entries are window-averaged (see
+        // `Profiler::epoch_benefit`), so the latest entry is the level.
+        let forecast_nb = forecast::net_benefit_from_smoothed(&series, self.history_epochs, mat_cost);
+        if optimistic && !config.contains(col) {
+            // A hot index that has not been what-if-profiled yet carries
+            // no accurate signal; its best case is its crude estimate
+            // projected over the horizon. This is what drives the budget
+            // up when a workload shift surfaces new candidates.
+            let crude = profiler.candidates().projected_benefit(col);
+            let crude_nb = crude * self.history_epochs as f64 - mat_cost;
+            forecast_nb.max(crude_nb)
+        } else {
+            forecast_nb
+        }
+    }
+
+    /// Size in pages an index (would) occupy.
+    fn index_pages(db: &Database, config: &PhysicalConfig, col: ColRef) -> u64 {
+        match config.get(col) {
+            Some(m) => m.tree.page_count() as u64,
+            None => db.index_estimate(col).pages,
+        }
+    }
+
+    /// Run reorganization + re-budgeting at an epoch boundary.
+    pub fn reorganize(
+        &mut self,
+        db: &Database,
+        config: &PhysicalConfig,
+        profiler: &Profiler,
+        hot: &BTreeSet<ColRef>,
+    ) -> ReorgDecision {
+        self.record_epoch(profiler, config, hot);
+
+        let online: BTreeSet<ColRef> = config.online_columns().collect();
+        let mut pool: Vec<ColRef> = online.union(hot).copied().collect();
+        pool.sort_unstable();
+
+        // --- Reorganization: knapsack under normal estimates. ---
+        let items: Vec<Item> = pool
+            .iter()
+            .map(|&col| Item {
+                size: Self::index_pages(db, config, col),
+                value: self.net_benefit_of(db, config, profiler, col, false),
+            })
+            .collect();
+        // Free solution: the unconstrained knapsack optimum.
+        let free_chosen = knapsack::solve(&items, self.budget_pages);
+        let free_value = knapsack::total_value(&items, &free_chosen);
+
+        // Keep solution: incumbents with positive net benefit stay (the
+        // paper's converge-to-zero drop path remains open), and the
+        // remaining capacity is filled with the best additions.
+        let kept: Vec<usize> = (0..pool.len())
+            .filter(|&i| online.contains(&pool[i]) && items[i].value > 0.0)
+            .collect();
+        let kept_pages: u64 = kept.iter().map(|&i| items[i].size).sum();
+        let spare = self.budget_pages.saturating_sub(kept_pages);
+        let addition_items: Vec<Item> = (0..pool.len())
+            .map(|i| {
+                if online.contains(&pool[i]) {
+                    Item { size: items[i].size, value: 0.0 } // never re-added
+                } else {
+                    items[i]
+                }
+            })
+            .collect();
+        let additions = knapsack::solve(&addition_items, spare);
+        let keep_value = kept.iter().map(|&i| items[i].value).sum::<f64>()
+            + knapsack::total_value(&addition_items, &additions);
+
+        // Hysteresis: adopt the free solution (which may swap incumbents
+        // out for new builds) only when it clearly beats keeping the
+        // incumbents and merely adding. The per-epoch benefit estimates
+        // fluctuate with the query mix, and re-solving the knapsack on
+        // every epoch would otherwise thrash between near-tied indices,
+        // paying a build each time.
+        let (new_materialized, net_benefit_m): (BTreeSet<ColRef>, f64) =
+            if free_value > keep_value * (1.0 + self.swap_margin) + 1e-9 {
+                (free_chosen.iter().map(|&i| pool[i]).collect(), free_value)
+            } else {
+                let set: BTreeSet<ColRef> =
+                    kept.iter().chain(additions.iter()).map(|&i| pool[i]).collect();
+                (set, keep_value)
+            };
+
+        let to_create: Vec<ColRef> =
+            new_materialized.iter().copied().filter(|c| !online.contains(c)).collect();
+        let to_drop: Vec<ColRef> =
+            online.iter().copied().filter(|c| !new_materialized.contains(c)).collect();
+
+        // --- Hot-set selection from the remaining candidates. ---
+        let benefits: Vec<(ColRef, f64)> = profiler
+            .candidates()
+            .smoothed_benefits()
+            .into_iter()
+            .filter(|(c, _)| !new_materialized.contains(c) && !config.contains(*c))
+            .collect();
+        let new_hot: BTreeSet<ColRef> = select_hot(&benefits, self.max_hot).into_iter().collect();
+
+        // --- Re-budgeting: best-case knapsack. ---
+        let opt_items: Vec<Item> = pool
+            .iter()
+            .map(|&col| Item {
+                size: Self::index_pages(db, config, col),
+                value: self.net_benefit_of(db, config, profiler, col, !online.contains(&col)),
+            })
+            .collect();
+        let opt_chosen = knapsack::solve(&opt_items, self.budget_pages);
+        let mut net_benefit_m_prime = knapsack::total_value(&opt_items, &opt_chosen);
+        // Fresh hot indices (selected just now, never profiled) also
+        // belong to the best-case scenario of the *next* epoch.
+        for &col in new_hot.iter().filter(|c| !pool.contains(c)) {
+            let v = self.net_benefit_of(db, config, profiler, col, true);
+            if v > 0.0 {
+                net_benefit_m_prime += v;
+            }
+        }
+
+        let eps = 1e-9;
+        let ratio = if net_benefit_m > eps {
+            (net_benefit_m_prime / net_benefit_m).max(1.0)
+        } else if net_benefit_m_prime > eps {
+            self.full_budget_ratio
+        } else {
+            1.0
+        };
+        let span = self.full_budget_ratio - 1.0;
+        let frac = ((ratio - 1.0) / span).clamp(0.0, 1.0);
+        let next_budget = if self.self_regulation {
+            (self.max_whatif as f64 * frac).round() as u64
+        } else {
+            // Ablation: a fixed-intensity tuner that always spends the
+            // full what-if budget, like the prior work the paper
+            // contrasts against (§1, "the on-line process operates with
+            // the same intensity even if the system cannot be tuned to
+            // work better").
+            self.max_whatif
+        };
+
+        ReorgDecision {
+            new_materialized,
+            to_create,
+            to_drop,
+            new_hot,
+            next_budget,
+            ratio,
+            net_benefit_m,
+            net_benefit_m_prime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_catalog::{Column, IndexOrigin, TableId, TableSchema};
+    use colt_engine::{Eqo, Query, SelPred};
+    use colt_storage::{row_from, Value, ValueType};
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.add_table(TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("grp", ValueType::Int),
+                Column::new("w", ValueType::Int),
+            ],
+        ));
+        db.insert_rows(
+            t,
+            (0..30_000i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 30), Value::Int(i % 3)])),
+        );
+        db.analyze_all();
+        (db, t)
+    }
+
+    fn profile_n(
+        profiler: &mut Profiler,
+        db: &Database,
+        cfg: &PhysicalConfig,
+        q: &Query,
+        hot: &BTreeSet<ColRef>,
+        n: usize,
+    ) {
+        let mut eqo = Eqo::new(db);
+        for _ in 0..n {
+            let plan = eqo.optimize(q, cfg);
+            profiler.profile_query(db, cfg, &mut eqo, q, &plan, hot);
+        }
+    }
+
+    #[test]
+    fn profitable_hot_index_gets_materialized() {
+        let (db, t) = setup();
+        let cfg = PhysicalConfig::new();
+        let col = ColRef::new(t, 0);
+        let colt_cfg = ColtConfig { storage_budget_pages: 10_000, ..Default::default() };
+        let mut profiler = Profiler::new(&colt_cfg);
+        let mut org = SelfOrganizer::new(&colt_cfg);
+        let hot = BTreeSet::from([col]);
+        let q = Query::single(t, vec![SelPred::eq(col, 7i64)]);
+        // Several epochs of consistent, strong evidence.
+        let mut decision = None;
+        for _ in 0..4 {
+            profile_n(&mut profiler, &db, &cfg, &q, &hot, 10);
+            decision = Some(org.reorganize(&db, &cfg, &profiler, &hot));
+            profiler.end_epoch(colt_cfg.max_whatif_per_epoch);
+        }
+        let d = decision.unwrap();
+        assert!(d.new_materialized.contains(&col), "net benefit {:?}", d.net_benefit_m);
+        assert_eq!(d.to_create, vec![col]);
+    }
+
+    #[test]
+    fn useless_materialized_index_dropped_after_benefit_decays() {
+        let (db, t) = setup();
+        let mut cfg = PhysicalConfig::new();
+        let col = ColRef::new(t, 0);
+        cfg.create_index(&db, col, IndexOrigin::Online);
+        let colt_cfg = ColtConfig::default();
+        let mut profiler = Profiler::new(&colt_cfg);
+        let mut org = SelfOrganizer::new(&colt_cfg);
+        let hot = BTreeSet::new();
+        // Queries that never touch the indexed column.
+        let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 1), 3i64)]);
+        let mut last = None;
+        for _ in 0..3 {
+            profile_n(&mut profiler, &db, &cfg, &q, &hot, 10);
+            last = Some(org.reorganize(&db, &cfg, &profiler, &hot));
+            profiler.end_epoch(colt_cfg.max_whatif_per_epoch);
+        }
+        let d = last.unwrap();
+        assert!(!d.new_materialized.contains(&col), "unused index must not survive");
+        assert_eq!(d.to_drop, vec![col]);
+    }
+
+    #[test]
+    fn budget_suspended_when_stable_and_tuned() {
+        let (db, t) = setup();
+        let mut cfg = PhysicalConfig::new();
+        let col = ColRef::new(t, 0);
+        cfg.create_index(&db, col, IndexOrigin::Online);
+        let colt_cfg = ColtConfig::default();
+        let mut profiler = Profiler::new(&colt_cfg);
+        let mut org = SelfOrganizer::new(&colt_cfg);
+        let hot = BTreeSet::new();
+        let q = Query::single(t, vec![SelPred::eq(col, 7i64)]);
+        let mut d = None;
+        for _ in 0..3 {
+            profile_n(&mut profiler, &db, &cfg, &q, &hot, 10);
+            d = Some(org.reorganize(&db, &cfg, &profiler, &hot));
+            profiler.end_epoch(d.as_ref().unwrap().next_budget);
+        }
+        let d = d.unwrap();
+        // Well-tuned, no hot candidates that could beat M → hibernate.
+        assert!(d.ratio < 1.05, "ratio {}", d.ratio);
+        assert_eq!(d.next_budget, 0, "profiling suspended");
+    }
+
+    #[test]
+    fn budget_wakes_up_on_new_promising_candidates() {
+        let (db, t) = setup();
+        let cfg = PhysicalConfig::new();
+        let colt_cfg = ColtConfig::default();
+        let mut profiler = Profiler::new(&colt_cfg);
+        let mut org = SelfOrganizer::new(&colt_cfg);
+        // Epoch of selective queries on an unindexed column → candidate
+        // with large crude benefit appears.
+        let col = ColRef::new(t, 0);
+        let q = Query::single(t, vec![SelPred::eq(col, 7i64)]);
+        profile_n(&mut profiler, &db, &cfg, &q, &BTreeSet::new(), 10);
+        let d = org.reorganize(&db, &cfg, &profiler, &BTreeSet::new());
+        assert!(d.new_hot.contains(&col), "promising candidate becomes hot");
+        assert!(d.next_budget > 0, "budget must wake up, got {}", d.next_budget);
+    }
+
+    #[test]
+    fn mat_cost_positive_and_scales() {
+        let (db, t) = setup();
+        let c = SelfOrganizer::estimated_mat_cost(&db, ColRef::new(t, 0));
+        assert!(c > 0.0);
+        // An index on a table twice the size must cost more.
+        let mut db2 = Database::new();
+        let t2 = db2.add_table(TableSchema::new("u", vec![Column::new("a", ValueType::Int)]));
+        db2.insert_rows(t2, (0..60_000i64).map(|i| row_from(vec![Value::Int(i)])));
+        db2.analyze_all();
+        assert!(SelfOrganizer::estimated_mat_cost(&db2, ColRef::new(t2, 0)) > c);
+    }
+
+    #[test]
+    fn budget_respects_storage_limit() {
+        let (db, t) = setup();
+        let cfg = PhysicalConfig::new();
+        // Budget too small for any index on this table.
+        let colt_cfg = ColtConfig { storage_budget_pages: 1, ..Default::default() };
+        let mut profiler = Profiler::new(&colt_cfg);
+        let mut org = SelfOrganizer::new(&colt_cfg);
+        let col = ColRef::new(t, 0);
+        let hot = BTreeSet::from([col]);
+        let q = Query::single(t, vec![SelPred::eq(col, 7i64)]);
+        for _ in 0..3 {
+            profile_n(&mut profiler, &db, &cfg, &q, &hot, 10);
+            let d = org.reorganize(&db, &cfg, &profiler, &hot);
+            assert!(d.new_materialized.is_empty(), "nothing fits in one page");
+            profiler.end_epoch(colt_cfg.max_whatif_per_epoch);
+        }
+    }
+}

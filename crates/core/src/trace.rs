@@ -1,0 +1,126 @@
+//! Run tracing: per-epoch records of COLT's internal decisions.
+//!
+//! The trace is what the benchmark harness reads to regenerate the
+//! paper's Figure 5 (what-if calls per epoch) and to audit
+//! materialization churn, budget regulation, and profiling coverage.
+
+use colt_catalog::ColRef;
+use serde::{Deserialize, Serialize};
+
+/// One epoch's worth of tuner activity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// What-if calls performed during the epoch.
+    pub whatif_used: u64,
+    /// The budget `#WI_lim` that was in force.
+    pub whatif_limit: u64,
+    /// Budget granted to the next epoch by re-budgeting.
+    pub next_budget: u64,
+    /// Re-budgeting ratio `r`.
+    pub ratio: f64,
+    /// Aggregate `NetBenefit(M)`.
+    pub net_benefit_m: f64,
+    /// Aggregate best-case `NetBenefit(M′)`.
+    pub net_benefit_m_prime: f64,
+    /// Materialized set after reorganization.
+    pub materialized: Vec<ColRef>,
+    /// Indices built at this boundary.
+    pub created: Vec<ColRef>,
+    /// Indices dropped at this boundary.
+    pub dropped: Vec<ColRef>,
+    /// Hot set for the next epoch.
+    pub hot: Vec<ColRef>,
+    /// Simulated milliseconds spent building indices at this boundary.
+    pub build_millis: f64,
+    /// Live candidates in `C`.
+    pub candidate_count: usize,
+    /// Query clusters tracked.
+    pub cluster_count: usize,
+}
+
+/// A complete run trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an epoch record.
+    pub fn push(&mut self, record: EpochRecord) {
+        self.epochs.push(record);
+    }
+
+    /// What-if calls per epoch — the series of the paper's Figure 5.
+    pub fn whatif_per_epoch(&self) -> Vec<u64> {
+        self.epochs.iter().map(|e| e.whatif_used).collect()
+    }
+
+    /// Total what-if calls over the run.
+    pub fn total_whatif(&self) -> u64 {
+        self.epochs.iter().map(|e| e.whatif_used).sum()
+    }
+
+    /// Total index builds over the run.
+    pub fn total_builds(&self) -> usize {
+        self.epochs.iter().map(|e| e.created.len()).sum()
+    }
+
+    /// Serialize to JSON (for EXPERIMENTS.md artifacts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_catalog::TableId;
+
+    fn record(epoch: u64, whatif: u64, created: usize) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            whatif_used: whatif,
+            whatif_limit: 20,
+            next_budget: 10,
+            ratio: 1.1,
+            net_benefit_m: 100.0,
+            net_benefit_m_prime: 110.0,
+            materialized: vec![],
+            created: (0..created).map(|i| ColRef::new(TableId(0), i as u32)).collect(),
+            dropped: vec![],
+            hot: vec![],
+            build_millis: 0.0,
+            candidate_count: 3,
+            cluster_count: 2,
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let mut t = Trace::new();
+        t.push(record(0, 20, 2));
+        t.push(record(1, 5, 0));
+        t.push(record(2, 0, 1));
+        assert_eq!(t.whatif_per_epoch(), vec![20, 5, 0]);
+        assert_eq!(t.total_whatif(), 25);
+        assert_eq!(t.total_builds(), 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Trace::new();
+        t.push(record(0, 7, 1));
+        let json = t.to_json();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.epochs.len(), 1);
+        assert_eq!(back.epochs[0].whatif_used, 7);
+    }
+}

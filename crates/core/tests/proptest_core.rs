@@ -1,0 +1,222 @@
+//! Property tests for COLT's decision machinery: the knapsack solver
+//! against brute force, hot-set selection axioms, gain-statistics
+//! algebra, the forecaster, and full-tuner safety invariants.
+
+use colt_core::knapsack::{self, Item};
+use colt_core::{forecast, hotset, GainStats};
+use proptest::prelude::*;
+
+fn brute_force_value(items: &[Item], capacity: u64) -> f64 {
+    let n = items.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let mut size = 0u64;
+        let mut value = 0.0;
+        for (i, it) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                size += it.size;
+                value += it.value;
+            }
+        }
+        if size <= capacity && value > best {
+            best = value;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The knapsack DP is exact on arbitrary small instances.
+    #[test]
+    fn knapsack_exact(
+        items in prop::collection::vec((1u64..60, 0.0f64..100.0), 0..12),
+        capacity in 0u64..150,
+    ) {
+        let items: Vec<Item> =
+            items.into_iter().map(|(size, value)| Item { size, value }).collect();
+        let chosen = knapsack::solve(&items, capacity);
+        prop_assert!(knapsack::total_size(&items, &chosen) <= capacity);
+        let got = knapsack::total_value(&items, &chosen);
+        let want = brute_force_value(&items, capacity);
+        prop_assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        // No duplicates, indices in range.
+        let mut sorted = chosen.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), chosen.len());
+        prop_assert!(chosen.iter().all(|&i| i < items.len()));
+    }
+
+    /// Large-capacity instances with few items are solved *exactly*
+    /// (the solver falls back to subset enumeration instead of the
+    /// precision-losing rescaled DP).
+    #[test]
+    fn knapsack_large_capacity_exact_for_small_pools(
+        items in prop::collection::vec((1_000u64..200_000, 1.0f64..100.0), 1..12),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let items: Vec<Item> =
+            items.into_iter().map(|(size, value)| Item { size, value }).collect();
+        let total: u64 = items.iter().map(|i| i.size).sum();
+        let capacity = (total as f64 * cap_frac) as u64;
+        let chosen = knapsack::solve(&items, capacity);
+        prop_assert!(knapsack::total_size(&items, &chosen) <= capacity);
+        let got = knapsack::total_value(&items, &chosen);
+        let want = brute_force_value(&items, capacity);
+        prop_assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+    }
+
+    /// Hot-set selection: returns a subset of the positive candidates,
+    /// respects the cap, and is exactly the top-k by benefit (the fill
+    /// rule makes the top cluster a prefix of the ranking).
+    #[test]
+    fn hotset_is_topk(
+        benefits in prop::collection::vec(-10.0f64..100.0, 0..40),
+        max_hot in 0usize..15,
+    ) {
+        use colt_catalog::{ColRef, TableId};
+        let cands: Vec<(ColRef, f64)> = benefits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (ColRef::new(TableId(0), i as u32), b))
+            .collect();
+        let hot = hotset::select_hot(&cands, max_hot);
+        let positive: Vec<_> = cands.iter().filter(|(_, b)| *b > 0.0).collect();
+        prop_assert!(hot.len() <= max_hot.min(positive.len()));
+        // Every hot member has benefit >= every positive non-member.
+        let min_hot = hot
+            .iter()
+            .map(|c| cands.iter().find(|(cc, _)| cc == c).unwrap().1)
+            .fold(f64::INFINITY, f64::min);
+        for (c, b) in &positive {
+            if !hot.contains(c) && !hot.is_empty() {
+                prop_assert!(*b <= min_hot + 1e-9, "excluded {b} > min hot {min_hot}");
+            }
+        }
+        // Cap binds exactly when there are enough positives.
+        if positive.len() >= max_hot {
+            prop_assert_eq!(hot.len(), max_hot);
+        }
+    }
+
+    /// Gain statistics match naive mean/variance and keep the interval
+    /// ordered around the mean.
+    #[test]
+    fn gain_stats_algebra(samples in prop::collection::vec(0.0f64..1000.0, 2..50)) {
+        let mut s = GainStats::new(0);
+        for &x in &samples {
+            s.add(x, 0);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-6 * var.abs().max(1.0));
+        let z = 1.645;
+        prop_assert!(s.low(z) <= s.mean() + 1e-9);
+        prop_assert!(s.high(z) >= s.mean() - 1e-9);
+        prop_assert!(s.low(z) >= 0.0);
+    }
+
+    /// The forecast level is bounded by the series extremes (zero padded)
+    /// and scales linearly.
+    #[test]
+    fn forecast_bounds(
+        series in prop::collection::vec(0.0f64..100.0, 0..12),
+        decay in 0.5f64..1.0,
+        horizon in 1usize..24,
+    ) {
+        let lvl = forecast::level(&series, decay, horizon);
+        let max = series.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!((0.0..=max + 1e-9).contains(&lvl));
+        let total = forecast::predicted_total(&series, decay, horizon);
+        prop_assert!((total - lvl * horizon as f64).abs() < 1e-9);
+        // Scaling the series scales the level.
+        let scaled: Vec<f64> = series.iter().map(|x| x * 3.0).collect();
+        let lvl3 = forecast::level(&scaled, decay, horizon);
+        prop_assert!((lvl3 - 3.0 * lvl).abs() < 1e-6);
+    }
+}
+
+mod tuner_safety {
+    use colt_catalog::{ColRef, Column, Database, PhysicalConfig, TableId, TableSchema};
+    use colt_core::{ColtConfig, ColtTuner};
+    use colt_engine::{Eqo, Query, SelPred};
+    use colt_storage::{row_from, Value, ValueType};
+    use proptest::prelude::*;
+
+    fn build_db() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let a = db.add_table(TableSchema::new(
+            "a",
+            vec![
+                Column::new("x", ValueType::Int),
+                Column::new("y", ValueType::Int),
+                Column::new("z", ValueType::Int),
+            ],
+        ));
+        let b = db.add_table(TableSchema::new(
+            "b",
+            vec![Column::new("u", ValueType::Int), Column::new("v", ValueType::Int)],
+        ));
+        db.insert_rows(
+            a,
+            (0..8_000i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 40), Value::Int(i % 3)])),
+        );
+        db.insert_rows(b, (0..500i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 7)])));
+        db.analyze_all();
+        (db, a, b)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Safety under arbitrary query streams: the tuner never panics,
+        /// the what-if budget is respected every epoch, and the on-line
+        /// index footprint never exceeds the storage budget by more than
+        /// the estimate/actual gap of a single index.
+        #[test]
+        fn tuner_invariants_hold_on_random_streams(
+            choices in prop::collection::vec((0u8..6, 0i64..8000), 50..200),
+            budget in 50u64..2_000,
+        ) {
+            let (db, a, b) = build_db();
+            let cfg = ColtConfig { storage_budget_pages: budget, ..Default::default() };
+            let max_wi = cfg.max_whatif_per_epoch;
+            let mut physical = PhysicalConfig::new();
+            let mut tuner = ColtTuner::new(cfg);
+            let mut eqo = Eqo::new(&db);
+
+            for (kind, x) in choices {
+                let q = match kind {
+                    0 => Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), x)]),
+                    1 => Query::single(a, vec![SelPred::eq(ColRef::new(a, 1), x % 40)]),
+                    2 => Query::single(a, vec![SelPred::between(ColRef::new(a, 0), x, x + 50)]),
+                    3 => Query::single(b, vec![SelPred::eq(ColRef::new(b, 0), x % 500)]),
+                    4 => Query::single(a, vec![]),
+                    _ => Query::join(
+                        vec![a, b],
+                        vec![colt_engine::JoinPred::new(ColRef::new(a, 1), ColRef::new(b, 1))],
+                        vec![SelPred::eq(ColRef::new(b, 0), x % 500)],
+                    ),
+                };
+                let plan = eqo.optimize(&q, &physical);
+                tuner.on_query(&db, &mut physical, &mut eqo, &q, &plan);
+            }
+            for e in &tuner.trace().epochs {
+                prop_assert!(e.whatif_used <= e.whatif_limit);
+                prop_assert!(e.whatif_limit <= max_wi);
+                prop_assert!(e.next_budget <= max_wi);
+                prop_assert!(e.ratio >= 1.0 - 1e-9);
+            }
+            // Footprint: estimated sizes guide the knapsack; the real
+            // trees may differ slightly, so allow 30% slack.
+            prop_assert!(
+                physical.online_pages() as f64 <= budget as f64 * 1.3 + 8.0,
+                "footprint {} vs budget {budget}",
+                physical.online_pages()
+            );
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Hash aggregation over query results.
+//!
+//! The paper's workloads are `SELECT *` SPJ queries, but the interactive
+//! analysis scenario that motivates on-line tuning is full of
+//! aggregates. This module adds a grouping/aggregation operator that
+//! runs on top of any physical plan: `COUNT`, `SUM`, `AVG`, `MIN`, `MAX`
+//! with an optional `GROUP BY` list. Aggregation never changes which
+//! indices help a query (it consumes the join result), so it composes
+//! with the tuner without touching it.
+
+use crate::executor::{Executor, QueryResult};
+use crate::plan::Plan;
+use crate::query::Query;
+use colt_catalog::{ColRef, TableId};
+use colt_storage::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Row count (ignores its column when `None`).
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Arithmetic mean of a numeric column.
+    Avg,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+/// One aggregate expression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// The aggregated column; `None` only for `COUNT(*)`.
+    pub col: Option<ColRef>,
+}
+
+impl AggExpr {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        AggExpr { func: AggFunc::Count, col: None }
+    }
+
+    /// An aggregate over a column.
+    pub fn over(func: AggFunc, col: ColRef) -> Self {
+        AggExpr { func, col: Some(col) }
+    }
+}
+
+/// A grouping + aggregation specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggSpec {
+    /// Grouping columns (empty for a single global group).
+    pub group_by: Vec<ColRef>,
+    /// Aggregates to compute per group.
+    pub exprs: Vec<AggExpr>,
+}
+
+/// Streaming accumulator for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(u64),
+    Sum(f64),
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum(0.0),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+        }
+    }
+
+    fn feed(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Sum(s) => *s += v.expect("SUM needs a column").as_f64(),
+            Acc::Avg { sum, n } => {
+                *sum += v.expect("AVG needs a column").as_f64();
+                *n += 1;
+            }
+            Acc::Min(cur) => {
+                let v = v.expect("MIN needs a column");
+                if cur.as_ref().is_none_or(|c| v < c) {
+                    *cur = Some(v.clone());
+                }
+            }
+            Acc::Max(cur) => {
+                let v = v.expect("MAX needs a column");
+                if cur.as_ref().is_none_or(|c| v > c) {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n as i64),
+            Acc::Sum(s) => Value::Float(s),
+            Acc::Avg { sum, n } => Value::Float(if n == 0 { 0.0 } else { sum / n as f64 }),
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Int(0)),
+        }
+    }
+}
+
+/// Map column references to positions inside a row laid out as the
+/// concatenation of the given tables' columns.
+fn offsets(
+    db: &colt_catalog::Database,
+    layout: &[TableId],
+    cols: impl Iterator<Item = ColRef>,
+) -> Vec<usize> {
+    cols.map(|c| {
+        let mut off = 0;
+        for &t in layout {
+            if t == c.table {
+                return off + c.column as usize;
+            }
+            off += db.table(t).schema.arity();
+        }
+        panic!("aggregate column {c} not in result layout");
+    })
+    .collect()
+}
+
+impl<'a> Executor<'a> {
+    /// Execute a plan and aggregate its result per `spec`. Output rows
+    /// are `group_by` values followed by one value per aggregate, in
+    /// deterministic group order. With an empty `group_by`, exactly one
+    /// row is produced (even over an empty input, as in SQL).
+    pub fn execute_aggregate(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        spec: &AggSpec,
+    ) -> (QueryResult, Vec<Vec<Value>>) {
+        let (mut result, rows, layout) = self.execute_collect_with_layout(query, plan);
+        let db = self.database();
+        let group_pos = offsets(db, &layout, spec.group_by.iter().copied());
+        let agg_pos: Vec<Option<usize>> = spec
+            .exprs
+            .iter()
+            .map(|e| e.col.map(|c| offsets(db, &layout, std::iter::once(c))[0]))
+            .collect();
+
+        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        if spec.group_by.is_empty() {
+            groups.insert(Vec::new(), spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+        }
+        for row in &rows {
+            let key: Vec<Value> = group_pos.iter().map(|&p| row[p].clone()).collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+            for (acc, pos) in accs.iter_mut().zip(&agg_pos) {
+                acc.feed(pos.map(|p| &row[p]));
+            }
+            result.io.cpu_ops += spec.exprs.len() as u64 + 1;
+        }
+
+        let mut out: Vec<Vec<Value>> = groups
+            .into_iter()
+            .map(|(mut key, accs)| {
+                key.extend(accs.into_iter().map(Acc::finish));
+                key
+            })
+            .collect();
+        out.sort();
+        result.row_count = out.len() as u64;
+        result.millis = db.cost.millis_of(&result.io);
+        (result, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{IndexSetView, Optimizer};
+    use crate::query::SelPred;
+    use colt_catalog::{Column, Database, PhysicalConfig, TableSchema};
+    use colt_storage::{row_from, ValueType};
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.add_table(TableSchema::new(
+            "sales",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("region", ValueType::Int),
+                Column::new("amount", ValueType::Float),
+            ],
+        ));
+        db.insert_rows(
+            t,
+            (0..1_000i64).map(|i| {
+                row_from(vec![Value::Int(i), Value::Int(i % 4), Value::Float((i % 10) as f64)])
+            }),
+        );
+        db.analyze_all();
+        (db, t)
+    }
+
+    fn run(db: &Database, q: &Query, spec: &AggSpec) -> Vec<Vec<Value>> {
+        let cfg = PhysicalConfig::new();
+        let plan = Optimizer::new(db).optimize(q, IndexSetView::real(&cfg));
+        Executor::new(db, &cfg).execute_aggregate(q, &plan, spec).1
+    }
+
+    #[test]
+    fn count_star_grouped() {
+        let (db, t) = setup();
+        let q = Query::single(t, vec![]);
+        let spec =
+            AggSpec { group_by: vec![ColRef::new(t, 1)], exprs: vec![AggExpr::count_star()] };
+        let rows = run(&db, &q, &spec);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r[1], Value::Int(250));
+        }
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let (db, t) = setup();
+        let amount = ColRef::new(t, 2);
+        let q = Query::single(t, vec![]);
+        let spec = AggSpec {
+            group_by: vec![],
+            exprs: vec![
+                AggExpr::over(AggFunc::Sum, amount),
+                AggExpr::over(AggFunc::Avg, amount),
+                AggExpr::over(AggFunc::Min, amount),
+                AggExpr::over(AggFunc::Max, amount),
+            ],
+        };
+        let rows = run(&db, &q, &spec);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Float(4_500.0));
+        assert_eq!(rows[0][1], Value::Float(4.5));
+        assert_eq!(rows[0][2], Value::Float(0.0));
+        assert_eq!(rows[0][3], Value::Float(9.0));
+    }
+
+    #[test]
+    fn aggregation_respects_filters() {
+        let (db, t) = setup();
+        let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 1), 2i64)]);
+        let spec = AggSpec { group_by: vec![], exprs: vec![AggExpr::count_star()] };
+        let rows = run(&db, &q, &spec);
+        assert_eq!(rows[0][0], Value::Int(250));
+    }
+
+    #[test]
+    fn empty_input_global_group() {
+        let (db, t) = setup();
+        let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 0), -1i64)]);
+        let spec = AggSpec { group_by: vec![], exprs: vec![AggExpr::count_star()] };
+        let rows = run(&db, &q, &spec);
+        assert_eq!(rows, vec![vec![Value::Int(0)]], "COUNT(*) over empty input is 0");
+        // With grouping, an empty input yields no groups.
+        let spec =
+            AggSpec { group_by: vec![ColRef::new(t, 1)], exprs: vec![AggExpr::count_star()] };
+        assert!(run(&db, &q, &spec).is_empty());
+    }
+
+    #[test]
+    fn grouped_output_is_sorted_and_deterministic() {
+        let (db, t) = setup();
+        let q = Query::single(t, vec![]);
+        let spec = AggSpec {
+            group_by: vec![ColRef::new(t, 1)],
+            exprs: vec![AggExpr::over(AggFunc::Max, ColRef::new(t, 0))],
+        };
+        let a = run(&db, &q, &spec);
+        let b = run(&db, &q, &spec);
+        assert_eq!(a, b);
+        let keys: Vec<&Value> = a.iter().map(|r| &r[0]).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,788 @@
+//! Physical plan execution with deterministic I/O accounting.
+//!
+//! The executor runs plans against the *real* data: sequential scans
+//! iterate heap pages, index scans probe the actual B+ trees and fetch
+//! rows in sorted rowid order (bitmap-style, deduplicating page reads),
+//! and hash joins build and probe real hash tables. Every operator
+//! charges [`IoStats`]; [`QueryResult::millis`] converts the total into
+//! the simulated wall-clock time that all experiments report.
+
+use crate::plan::{AccessPath, Plan, PlanNode};
+use crate::query::{PredicateKind, Query, SelPred};
+use colt_catalog::{Database, PhysicalConfig, TableId};
+use colt_storage::{IoStats, RowId, Value};
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Result of executing one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Number of result rows (the rows themselves are not retained for
+    /// multi-table queries to keep memory bounded; see
+    /// [`Executor::execute_collect`]).
+    pub row_count: u64,
+    /// Physical work performed.
+    pub io: IoStats,
+    /// Simulated execution time in milliseconds.
+    pub millis: f64,
+}
+
+/// Rows flowing between operators: the source table of each column slice
+/// is tracked so join keys can be located.
+struct Batch {
+    /// Participating tables, in column-slice order.
+    tables: Vec<TableId>,
+    /// Concatenated rows.
+    rows: Vec<Vec<Value>>,
+}
+
+/// The executor.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'a> {
+    db: &'a Database,
+    config: &'a PhysicalConfig,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor over a database and its physical configuration.
+    pub fn new(db: &'a Database, config: &'a PhysicalConfig) -> Self {
+        Executor { db, config }
+    }
+
+    /// Execute a plan, returning counts and charges only.
+    pub fn execute(&self, query: &Query, plan: &Plan) -> QueryResult {
+        let mut io = IoStats::new();
+        let batch = self.run(query, &plan.root, &mut io);
+        QueryResult {
+            row_count: batch.rows.len() as u64,
+            millis: self.db.cost.millis_of(&io),
+            io,
+        }
+    }
+
+    /// Execute a plan and also return the result rows (column-concatenated
+    /// in the plan's table order). Intended for examples and tests.
+    pub fn execute_collect(&self, query: &Query, plan: &Plan) -> (QueryResult, Vec<Vec<Value>>) {
+        let (res, rows, _) = self.execute_collect_with_layout(query, plan);
+        (res, rows)
+    }
+
+    /// Like [`Executor::execute_collect`], additionally returning the
+    /// column layout: the result rows are the concatenation of these
+    /// tables' columns, in order. Consumers that address columns by
+    /// [`colt_catalog::ColRef`] (e.g. aggregation) need the layout
+    /// because join operators order their inputs by cost, not by the
+    /// query's table list.
+    pub fn execute_collect_with_layout(
+        &self,
+        query: &Query,
+        plan: &Plan,
+    ) -> (QueryResult, Vec<Vec<Value>>, Vec<TableId>) {
+        let mut io = IoStats::new();
+        let batch = self.run(query, &plan.root, &mut io);
+        (
+            QueryResult {
+                row_count: batch.rows.len() as u64,
+                millis: self.db.cost.millis_of(&io),
+                io,
+            },
+            batch.rows,
+            batch.tables,
+        )
+    }
+
+    /// The database this executor runs against.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// EXPLAIN ANALYZE: execute the plan and render the operator tree
+    /// annotated with *estimated vs actual* rows and the per-node
+    /// physical work. The estimation error visible here is exactly the
+    /// noise COLT's confidence intervals exist to tolerate.
+    pub fn explain_analyze(&self, query: &Query, plan: &Plan) -> (QueryResult, String) {
+        let mut io = IoStats::new();
+        let mut out = String::new();
+        let batch = self.analyze_node(query, &plan.root, &mut io, 0, &mut out);
+        let result = QueryResult {
+            row_count: batch.rows.len() as u64,
+            millis: self.db.cost.millis_of(&io),
+            io,
+        };
+        out.push_str(&format!(
+            "total: {} rows, {:.2} simulated ms ({} seq + {} random pages, {} tuples)\n",
+            result.row_count,
+            result.millis,
+            result.io.seq_pages,
+            result.io.random_pages,
+            result.io.tuples
+        ));
+        (result, out)
+    }
+
+    /// Execute one node, appending its annotated line (after its
+    /// children's, pre-order rendering) to `out`.
+    fn analyze_node(
+        &self,
+        query: &Query,
+        node: &PlanNode,
+        io: &mut IoStats,
+        depth: usize,
+        out: &mut String,
+    ) -> Batch {
+        let pad = "  ".repeat(depth);
+        let mut child_text = String::new();
+        let (batch, own_io) = match node {
+            PlanNode::Scan { table, path, .. } => {
+                let before = *io;
+                let b = self.run_scan(query, *table, path, io);
+                (b, *io - before)
+            }
+            PlanNode::HashJoin { build, probe, on, .. } => {
+                let b = self.analyze_node(query, build, io, depth + 1, &mut child_text);
+                let p = self.analyze_node(query, probe, io, depth + 1, &mut child_text);
+                let before = *io;
+                let joined = self.hash_join(b, p, on, io);
+                (joined, *io - before)
+            }
+            PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
+                let o = self.analyze_node(query, outer, io, depth + 1, &mut child_text);
+                let before = *io;
+                let joined =
+                    self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io);
+                (joined, *io - before)
+            }
+        };
+        let label = match node {
+            PlanNode::Scan { table, path, .. } => match path {
+                crate::plan::AccessPath::SeqScan => format!("SeqScan t{}", table.0),
+                crate::plan::AccessPath::IndexScan { col } => {
+                    format!("IndexScan[{col}] t{}", table.0)
+                }
+                crate::plan::AccessPath::CompositeScan { key, .. } => {
+                    format!("CompositeScan[{key}] t{}", table.0)
+                }
+            },
+            PlanNode::HashJoin { on, .. } => format!("HashJoin on {} preds", on.len()),
+            PlanNode::IndexNlJoin { inner, index, .. } => {
+                format!("IndexNLJoin inner=t{} via [{index}]", inner.0)
+            }
+        };
+        out.push_str(&format!(
+            "{pad}{label} (est rows={:.1}, actual rows={}; pages seq={} rnd={})\n",
+            node.est_rows(),
+            batch.rows.len(),
+            own_io.seq_pages,
+            own_io.random_pages,
+        ));
+        out.push_str(&child_text);
+        batch
+    }
+
+    fn run(&self, query: &Query, node: &PlanNode, io: &mut IoStats) -> Batch {
+        match node {
+            PlanNode::Scan { table, path, .. } => self.run_scan(query, *table, path, io),
+            PlanNode::HashJoin { build, probe, on, .. } => {
+                let b = self.run(query, build, io);
+                let p = self.run(query, probe, io);
+                self.hash_join(b, p, on, io)
+            }
+            PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
+                let o = self.run(query, outer, io);
+                self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io)
+            }
+        }
+    }
+
+    /// Index nested-loop join: probe the inner table's B+ tree once per
+    /// outer row, fetch matches, and apply the inner table's selection
+    /// predicates plus any residual join predicates.
+    #[allow(clippy::too_many_arguments)]
+    fn index_nl_join(
+        &self,
+        query: &Query,
+        outer: Batch,
+        inner: TableId,
+        index_col: colt_catalog::ColRef,
+        probe_on: crate::query::JoinPred,
+        residual_on: &[crate::query::JoinPred],
+        io: &mut IoStats,
+    ) -> Batch {
+        let inner_table = self.db.table(inner);
+        let index = self
+            .config
+            .get(index_col)
+            .unwrap_or_else(|| panic!("plan probes unmaterialized index {index_col}"));
+        let inner_preds: Vec<&SelPred> = query.selections_on(inner).collect();
+
+        // Locate the outer side of the probe predicate in the batch.
+        let outer_side =
+            if probe_on.left.table == inner { probe_on.right } else { probe_on.left };
+        let col_offset = |batch: &Batch, table: TableId| -> usize {
+            let mut off = 0;
+            for &t in &batch.tables {
+                if t == table {
+                    return off;
+                }
+                off += self.db.table(t).schema.arity();
+            }
+            panic!("probe key table not in outer batch");
+        };
+        let probe_pos = col_offset(&outer, outer_side.table) + outer_side.column as usize;
+
+        // Residual join predicates: (outer position, inner column).
+        let residuals: Vec<(usize, usize)> = residual_on
+            .iter()
+            .map(|j| {
+                let (o, i) = if j.left.table == inner { (j.right, j.left) } else { (j.left, j.right) };
+                (col_offset(&outer, o.table) + o.column as usize, i.column as usize)
+            })
+            .collect();
+
+        let inner_arity = inner_table.schema.arity();
+        let mut out = Vec::new();
+        for orow in &outer.rows {
+            let key = &orow[probe_pos];
+            let mut rowids = index.tree.lookup(key, io);
+            let fetched = inner_table.heap.fetch_sorted(&mut rowids, io);
+            for irow in fetched {
+                io.cpu_ops += (inner_preds.len() + residuals.len()) as u64;
+                let sel_ok =
+                    inner_preds.iter().all(|p| p.matches(&irow[p.col.column as usize]));
+                let res_ok = residuals.iter().all(|&(op, ic)| orow[op] == irow[ic]);
+                if sel_ok && res_ok {
+                    let mut row = orow.clone();
+                    row.extend(irow.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+        io.tuples += out.len() as u64;
+        debug_assert!(inner_arity > 0);
+
+        let mut tables = outer.tables;
+        tables.push(inner);
+        Batch { tables, rows: out }
+    }
+
+    fn run_scan(&self, query: &Query, table: TableId, path: &AccessPath, io: &mut IoStats) -> Batch {
+        let t = self.db.table(table);
+        let preds: Vec<&SelPred> = query.selections_on(table).collect();
+        let rows: Vec<Vec<Value>> = match path {
+            AccessPath::SeqScan => t
+                .heap
+                .scan(io)
+                .filter(|(_, row)| {
+                    io.cpu_ops += preds.len() as u64;
+                    preds.iter().all(|p| p.matches(&row[p.col.column as usize]))
+                })
+                .map(|(_, row)| row.to_vec())
+                .collect(),
+            AccessPath::CompositeScan { key, eq_prefix, range_next } => {
+                let index = self
+                    .config
+                    .get_composite(key)
+                    .unwrap_or_else(|| panic!("plan uses unmaterialized composite {key}"));
+                // Equality values pinning the prefix.
+                let prefix: Vec<Value> = key.columns[..*eq_prefix as usize]
+                    .iter()
+                    .map(|&c| {
+                        let pred = preds
+                            .iter()
+                            .find(|p| {
+                                p.col.column == c
+                                    && matches!(p.kind, PredicateKind::Eq(_))
+                            })
+                            .unwrap_or_else(|| panic!("missing eq predicate for composite prefix"));
+                        match &pred.kind {
+                            PredicateKind::Eq(v) => v.clone(),
+                            _ => unreachable!(),
+                        }
+                    })
+                    .collect();
+                // Optional range on the next column.
+                let next = if *range_next {
+                    let c = key.columns[*eq_prefix as usize];
+                    let pred = preds
+                        .iter()
+                        .find(|p| {
+                            p.col.column == c && matches!(p.kind, PredicateKind::Range { .. })
+                        })
+                        .unwrap_or_else(|| panic!("missing range predicate for composite scan"));
+                    let PredicateKind::Range { lo, hi } = &pred.kind else { unreachable!() };
+                    let map = |b: &Option<crate::query::RangeBound>| match b {
+                        Some(rb) if rb.inclusive => Bound::Included(rb.value.clone()),
+                        Some(rb) => Bound::Excluded(rb.value.clone()),
+                        None => Bound::Unbounded,
+                    };
+                    Some((map(lo), map(hi)))
+                } else {
+                    None
+                };
+                let mut rowids = colt_catalog::prefix_scan(index, &prefix, next, io);
+                let fetched = t.heap.fetch_sorted(&mut rowids, io);
+                fetched
+                    .into_iter()
+                    .filter(|row| {
+                        io.cpu_ops += preds.len() as u64;
+                        preds.iter().all(|p| p.matches(&row[p.col.column as usize]))
+                    })
+                    .map(|row| row.to_vec())
+                    .collect()
+            }
+            AccessPath::IndexScan { col } => {
+                let index = self
+                    .config
+                    .get(*col)
+                    .unwrap_or_else(|| panic!("plan uses unmaterialized index {col}"));
+                let driver_idx = preds
+                    .iter()
+                    .position(|p| p.col == *col)
+                    .unwrap_or_else(|| panic!("index scan without sargable predicate on {col}"));
+                let mut rowids: Vec<RowId> = match &preds[driver_idx].kind {
+                    PredicateKind::Eq(v) => index.tree.lookup(v, io),
+                    PredicateKind::In(vs) => {
+                        // One descent per list element; the sorted fetch
+                        // afterwards deduplicates heap pages.
+                        vs.iter().flat_map(|v| index.tree.lookup(v, io)).collect()
+                    }
+                    PredicateKind::Range { lo, hi } => {
+                        let map = |b: &Option<crate::query::RangeBound>| match b {
+                            Some(rb) if rb.inclusive => Bound::Included(rb.value.clone()),
+                            Some(rb) => Bound::Excluded(rb.value.clone()),
+                            None => Bound::Unbounded,
+                        };
+                        index.tree.range(map(lo), map(hi), io)
+                    }
+                };
+                let fetched = t.heap.fetch_sorted(&mut rowids, io);
+                fetched
+                    .into_iter()
+                    .filter(|row| {
+                        io.cpu_ops += preds.len() as u64 - 1;
+                        // Residual = everything except the one predicate
+                        // that drove the scan — a second predicate on the
+                        // same column must still be checked.
+                        preds
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != driver_idx)
+                            .all(|(_, p)| p.matches(&row[p.col.column as usize]))
+                    })
+                    .map(|row| row.to_vec())
+                    .collect()
+            }
+        };
+        Batch { tables: vec![table], rows }
+    }
+
+    fn hash_join(
+        &self,
+        build: Batch,
+        probe: Batch,
+        on: &[crate::query::JoinPred],
+        io: &mut IoStats,
+    ) -> Batch {
+        // Locate each join key within the concatenated batches.
+        let col_offset = |batch: &Batch, table: TableId| -> usize {
+            let mut off = 0;
+            for &t in &batch.tables {
+                if t == table {
+                    return off;
+                }
+                off += self.db.table(t).schema.arity();
+            }
+            panic!("join key table not in batch");
+        };
+        let key_positions = |batch: &Batch| -> Vec<usize> {
+            on.iter()
+                .map(|j| {
+                    let side = if batch.tables.contains(&j.left.table) { j.left } else { j.right };
+                    col_offset(batch, side.table) + side.column as usize
+                })
+                .collect()
+        };
+
+        let build_keys = key_positions(&build);
+        let probe_keys = key_positions(&probe);
+
+        // Build phase.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.rows.len());
+        for (i, row) in build.rows.iter().enumerate() {
+            let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
+            table.entry(key).or_default().push(i);
+            io.cpu_ops += 2; // hash + insert
+        }
+
+        // Probe phase. Cartesian product when `on` is empty.
+        let mut out = Vec::new();
+        if on.is_empty() {
+            for b in &build.rows {
+                for p in &probe.rows {
+                    io.cpu_ops += 1;
+                    let mut row = b.clone();
+                    row.extend(p.iter().cloned());
+                    out.push(row);
+                }
+            }
+        } else {
+            for p in &probe.rows {
+                io.cpu_ops += 1;
+                let key: Vec<Value> = probe_keys.iter().map(|&k| p[k].clone()).collect();
+                if let Some(matches) = table.get(&key) {
+                    for &bi in matches {
+                        let mut row = build.rows[bi].clone();
+                        row.extend(p.iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        io.tuples += out.len() as u64;
+
+        let mut tables = build.tables;
+        tables.extend(probe.tables);
+        Batch { tables, rows: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{IndexSetView, Optimizer};
+    use crate::query::{JoinPred, SelPred};
+    use colt_catalog::{ColRef, Column, IndexOrigin, TableSchema};
+    use colt_storage::{row_from, ValueType};
+
+    fn db() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let fact = db.add_table(TableSchema::new(
+            "fact",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("fk", ValueType::Int),
+                Column::new("v", ValueType::Int),
+            ],
+        ));
+        let dim = db.add_table(TableSchema::new(
+            "dim",
+            vec![Column::new("id", ValueType::Int), Column::new("grp", ValueType::Int)],
+        ));
+        db.insert_rows(
+            fact,
+            (0..20_000i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 200), Value::Int(i % 7)])),
+        );
+        db.insert_rows(dim, (0..200i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 4)])));
+        db.analyze_all();
+        (db, fact, dim)
+    }
+
+    fn plan_and_run(
+        db: &Database,
+        cfg: &PhysicalConfig,
+        q: &Query,
+    ) -> (QueryResult, Vec<Vec<Value>>) {
+        let opt = Optimizer::new(db);
+        let plan = opt.optimize(q, IndexSetView::real(cfg));
+        Executor::new(db, cfg).execute_collect(q, &plan)
+    }
+
+    #[test]
+    fn seq_scan_filters_correctly() {
+        let (db, fact, _) = db();
+        let cfg = PhysicalConfig::new();
+        let q = Query::single(fact, vec![SelPred::eq(ColRef::new(fact, 2), 3i64)]);
+        let (res, rows) = plan_and_run(&db, &cfg, &q);
+        // v = i % 7 == 3 → ~ 20000/7 rows.
+        assert_eq!(res.row_count as usize, rows.len());
+        assert_eq!(rows.len(), 2857, "count of i%7==3 in 0..20000");
+        assert!(rows.iter().all(|r| r[2] == Value::Int(3)));
+        assert!(res.millis > 0.0);
+        assert!(res.io.seq_pages > 0);
+    }
+
+    #[test]
+    fn index_scan_and_seq_scan_agree() {
+        let (db, fact, _) = db();
+        let col = ColRef::new(fact, 0);
+        let q = Query::single(fact, vec![SelPred::between(col, 100i64, 140i64)]);
+
+        let no_index = PhysicalConfig::new();
+        let (seq_res, mut seq_rows) = plan_and_run(&db, &no_index, &q);
+
+        let mut cfg = PhysicalConfig::new();
+        cfg.create_index(&db, col, IndexOrigin::Online);
+        let opt = Optimizer::new(&db);
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        assert_eq!(plan.used_indices(), vec![col], "index must be chosen: {}", plan.explain());
+        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+
+        seq_rows.sort();
+        idx_rows.sort();
+        assert_eq!(seq_rows, idx_rows, "same result via both paths");
+        assert_eq!(idx_res.row_count, 41);
+        // The selective index scan must actually be faster.
+        assert!(
+            idx_res.millis < seq_res.millis,
+            "index {} ms vs seq {} ms",
+            idx_res.millis,
+            seq_res.millis
+        );
+    }
+
+    #[test]
+    fn in_list_via_index_matches_seq_scan() {
+        let (db, fact, _) = db();
+        let col = ColRef::new(fact, 0);
+        let q = Query::single(
+            fact,
+            vec![SelPred::is_in(col, vec![Value::Int(3), Value::Int(500), Value::Int(19_999)])],
+        );
+        let bare = PhysicalConfig::new();
+        let opt = Optimizer::new(&db);
+        let (seq_res, mut seq_rows) =
+            Executor::new(&db, &bare).execute_collect(&q, &opt.optimize(&q, IndexSetView::real(&bare)));
+        assert_eq!(seq_res.row_count, 3);
+
+        let mut cfg = PhysicalConfig::new();
+        cfg.create_index(&db, col, IndexOrigin::Online);
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        assert_eq!(plan.used_indices(), vec![col], "IN must be index-sargable: {}", plan.explain());
+        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+        seq_rows.sort();
+        idx_rows.sort();
+        assert_eq!(seq_rows, idx_rows);
+        assert!(idx_res.millis < seq_res.millis);
+    }
+
+    #[test]
+    fn contradictory_predicates_on_driving_column() {
+        // Regression: two predicates on the indexed column — only the
+        // driver may be skipped as residual; the other must still apply.
+        let (db, fact, _) = db();
+        let col = ColRef::new(fact, 0);
+        let mut cfg = PhysicalConfig::new();
+        cfg.create_index(&db, col, IndexOrigin::Online);
+        let q = Query::single(
+            fact,
+            vec![SelPred::eq(col, 5i64), SelPred::eq(col, 7i64)],
+        );
+        let opt = Optimizer::new(&db);
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        assert_eq!(res.row_count, 0, "id = 5 AND id = 7 matches nothing");
+        // Overlapping ranges on the same column must intersect.
+        let q = Query::single(
+            fact,
+            vec![
+                SelPred::between(col, 0i64, 100i64),
+                SelPred::between(col, 50i64, 200i64),
+            ],
+        );
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        assert_eq!(res.row_count, 51, "intersection [50, 100]");
+    }
+
+    #[test]
+    fn residual_predicates_applied_on_index_path() {
+        let (db, fact, _) = db();
+        let col = ColRef::new(fact, 0);
+        let mut cfg = PhysicalConfig::new();
+        cfg.create_index(&db, col, IndexOrigin::Online);
+        let q = Query::single(
+            fact,
+            vec![SelPred::between(col, 0i64, 999i64), SelPred::eq(ColRef::new(fact, 2), 0i64)],
+        );
+        let (_, rows) = plan_and_run(&db, &cfg, &q);
+        assert!(rows.iter().all(|r| r[2] == Value::Int(0)));
+        // 1000 ids, every 7th has v=0 → ceil(1000/7) = 143.
+        assert_eq!(rows.len(), 143);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_reference() {
+        let (db, fact, dim) = db();
+        let cfg = PhysicalConfig::new();
+        let q = Query::join(
+            vec![fact, dim],
+            vec![JoinPred::new(ColRef::new(fact, 1), ColRef::new(dim, 0))],
+            vec![SelPred::eq(ColRef::new(dim, 1), 2i64)],
+        );
+        let (res, rows) = plan_and_run(&db, &cfg, &q);
+        // dim rows with grp=2: ids {2,6,10,...198} → 50 ids; each matches
+        // 20000/200 = 100 fact rows.
+        assert_eq!(res.row_count, 50 * 100);
+        // Every output row satisfies the join and the filter.
+        // Column layout depends on build/probe order; find offsets.
+        assert_eq!(rows.len(), 5000);
+    }
+
+    #[test]
+    fn composite_scan_matches_seq_scan() {
+        use colt_catalog::CompositeKey;
+        let (db, fact, _) = db();
+        // Composite over (fk, v): eq on both columns matches a prefix.
+        let key = CompositeKey::new(fact, vec![1, 2]);
+        let mut cfg = PhysicalConfig::new();
+        cfg.create_composite(&db, key.clone());
+
+        let q = Query::single(
+            fact,
+            vec![SelPred::eq(ColRef::new(fact, 1), 7i64), SelPred::eq(ColRef::new(fact, 2), 3i64)],
+        );
+        let opt = Optimizer::new(&db);
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        assert!(
+            matches!(
+                &plan.root,
+                crate::plan::PlanNode::Scan {
+                    path: AccessPath::CompositeScan { eq_prefix: 2, range_next: false, .. },
+                    ..
+                }
+            ),
+            "{}",
+            plan.explain()
+        );
+        let (comp_res, mut comp_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+
+        let bare = PhysicalConfig::new();
+        let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
+        let (seq_res, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan);
+        comp_rows.sort();
+        seq_rows.sort();
+        assert_eq!(comp_rows, seq_rows);
+        assert_eq!(comp_res.row_count, seq_res.row_count);
+        // The two-column equality is far more selective than either
+        // single column: the composite must be much faster.
+        assert!(comp_res.millis < seq_res.millis / 3.0);
+    }
+
+    #[test]
+    fn composite_prefix_plus_range_matches_seq_scan() {
+        use colt_catalog::CompositeKey;
+        let (db, fact, _) = db();
+        let key = CompositeKey::new(fact, vec![1, 0]);
+        let mut cfg = PhysicalConfig::new();
+        cfg.create_composite(&db, key);
+        let q = Query::single(
+            fact,
+            vec![
+                SelPred::eq(ColRef::new(fact, 1), 7i64),
+                SelPred::between(ColRef::new(fact, 0), 1_000i64, 3_000i64),
+            ],
+        );
+        let opt = Optimizer::new(&db);
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        assert!(
+            matches!(
+                &plan.root,
+                crate::plan::PlanNode::Scan {
+                    path: AccessPath::CompositeScan { eq_prefix: 1, range_next: true, .. },
+                    ..
+                }
+            ),
+            "{}",
+            plan.explain()
+        );
+        let (res, mut rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+        let bare = PhysicalConfig::new();
+        let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
+        let (_, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan);
+        rows.sort();
+        seq_rows.sort();
+        assert_eq!(rows, seq_rows);
+        assert!(res.row_count > 0, "range must match something");
+    }
+
+    #[test]
+    fn inl_join_matches_hash_join_results() {
+        use crate::optimizer::OptimizerOptions;
+        let (db, fact, dim) = db();
+        let mut cfg = PhysicalConfig::new();
+        let fk = ColRef::new(fact, 1);
+        cfg.create_index(&db, fk, IndexOrigin::Online);
+        let q = Query::join(
+            vec![fact, dim],
+            vec![JoinPred::new(fk, ColRef::new(dim, 0))],
+            vec![SelPred::eq(ColRef::new(dim, 0), 7i64), SelPred::eq(ColRef::new(fact, 2), 3i64)],
+        );
+        let inl_opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: true });
+        let inl_plan = inl_opt.optimize(&q, IndexSetView::real(&cfg));
+        assert!(
+            matches!(inl_plan.root, crate::plan::PlanNode::IndexNlJoin { .. }),
+            "{}",
+            inl_plan.explain()
+        );
+        let hash_plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&PhysicalConfig::new()));
+
+        let (inl_res, inl_rows) = Executor::new(&db, &cfg).execute_collect(&q, &inl_plan);
+        let (hash_res, hash_rows) =
+            Executor::new(&db, &PhysicalConfig::new()).execute_collect(&q, &hash_plan);
+        assert_eq!(inl_res.row_count, hash_res.row_count);
+        // Column order differs between the operators (outer-first vs
+        // build-first); compare as multisets of sorted rows.
+        let canon = |rows: Vec<Vec<Value>>| {
+            let mut v: Vec<Vec<Value>> = rows
+                .into_iter()
+                .map(|mut r| {
+                    r.sort();
+                    r
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(inl_rows), canon(hash_rows));
+        // The two strategies are within the same ballpark here (the
+        // single-probe case is a near-tie in this cost model); the I/O
+        // profiles must nonetheless differ in the expected direction:
+        // INLJ does random probes, the hash join scans sequentially.
+        assert!(inl_res.io.random_pages > hash_res.io.random_pages);
+        assert!(inl_res.io.seq_pages < hash_res.io.seq_pages);
+    }
+
+    #[test]
+    fn empty_result_is_fine() {
+        let (db, fact, _) = db();
+        let cfg = PhysicalConfig::new();
+        let q = Query::single(fact, vec![SelPred::eq(ColRef::new(fact, 0), -1i64)]);
+        let (res, rows) = plan_and_run(&db, &cfg, &q);
+        assert_eq!(res.row_count, 0);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn explain_analyze_reports_estimates_and_actuals() {
+        let (db, fact, dim) = db();
+        let cfg = PhysicalConfig::new();
+        let q = Query::join(
+            vec![fact, dim],
+            vec![JoinPred::new(ColRef::new(fact, 1), ColRef::new(dim, 0))],
+            vec![SelPred::eq(ColRef::new(dim, 1), 2i64)],
+        );
+        let opt = Optimizer::new(&db);
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        let (res, text) = Executor::new(&db, &cfg).explain_analyze(&q, &plan);
+        // Same result as plain execution.
+        let plain = Executor::new(&db, &cfg).execute(&q, &plan);
+        assert_eq!(res.row_count, plain.row_count);
+        assert_eq!(res.io, plain.io);
+        // The rendering mentions each operator with estimates and actuals.
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("SeqScan"), "{text}");
+        assert!(text.contains("est rows="), "{text}");
+        assert!(text.contains(&format!("actual rows={}", res.row_count)), "{text}");
+        assert!(text.contains("total:"), "{text}");
+    }
+
+    #[test]
+    fn executor_time_tracks_io() {
+        let (db, fact, _) = db();
+        let cfg = PhysicalConfig::new();
+        let q = Query::single(fact, vec![]);
+        let (res, _) = plan_and_run(&db, &cfg, &q);
+        let expect = db.cost.millis_of(&res.io);
+        assert!((res.millis - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # colt-engine
+//!
+//! The relational engine substrate of the COLT reproduction: an SPJ query
+//! model, selectivity estimation over catalog statistics, System-R cost
+//! formulas, a Selinger-style dynamic-programming optimizer, the what-if
+//! interface COLT profiles through, and an executor that runs plans
+//! against real data while charging a deterministic simulated clock.
+//!
+//! The split that matters for reproducing the paper:
+//!
+//! * the **optimizer** sees only *estimates* (histograms, index shape
+//!   estimates) — its costs are what `WhatIfOptimize` returns;
+//! * the **executor** performs the work and charges *actual* counts —
+//!   its simulated milliseconds are what every figure reports.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aggregate;
+pub mod cost;
+pub mod executor;
+pub mod optimizer;
+pub mod plan;
+pub mod query;
+pub mod selectivity;
+pub mod sql;
+pub mod whatif;
+
+pub use aggregate::{AggExpr, AggFunc, AggSpec};
+pub use executor::{Executor, QueryResult};
+pub use optimizer::{IndexSetView, Optimizer, OptimizerOptions};
+pub use plan::{AccessPath, Plan, PlanNode};
+pub use query::{JoinPred, PredicateKind, Query, RangeBound, SelPred};
+pub use sql::{parse as parse_sql, ParseError, ParsedQuery};
+pub use whatif::{Eqo, EqoCounters, IndexGain};

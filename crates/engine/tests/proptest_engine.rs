@@ -1,0 +1,315 @@
+//! Property tests for the engine: for arbitrary queries and arbitrary
+//! physical configurations, plan execution must agree with a trivial
+//! reference evaluator, and what-if answers must equal re-optimization
+//! cost deltas.
+
+use colt_catalog::{ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableId, TableSchema};
+use colt_engine::{Eqo, Executor, IndexSetView, Optimizer, PredicateKind, Query, SelPred};
+use colt_storage::{row_from, Value, ValueType};
+use proptest::prelude::*;
+
+/// A two-table database whose contents are fully determined by `n`.
+fn build_db(n_a: usize, n_b: usize) -> (Database, TableId, TableId) {
+    let mut db = Database::new();
+    let a = db.add_table(TableSchema::new(
+        "a",
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("fk", ValueType::Int),
+            Column::new("v", ValueType::Int),
+        ],
+    ));
+    let b = db.add_table(TableSchema::new(
+        "b",
+        vec![Column::new("id", ValueType::Int), Column::new("w", ValueType::Int)],
+    ));
+    db.insert_rows(
+        a,
+        (0..n_a as i64).map(|i| {
+            row_from(vec![
+                Value::Int(i),
+                Value::Int(i % n_b.max(1) as i64),
+                Value::Int(i * 7 % 23),
+            ])
+        }),
+    );
+    db.insert_rows(b, (0..n_b as i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 5)])));
+    db.analyze_all();
+    (db, a, b)
+}
+
+/// Reference evaluation: nested loops + direct predicate checks, for
+/// any number of tables.
+fn reference(db: &Database, q: &Query) -> usize {
+    let eval_table = |t: TableId| -> Vec<Vec<Value>> {
+        db.table(t)
+            .heap
+            .iter()
+            .filter(|(_, row)| {
+                q.selections_on(t).all(|p| p.matches(&row[p.col.column as usize]))
+            })
+            .map(|(_, row)| row.to_vec())
+            .collect()
+    };
+    // Cross product of all filtered tables, then apply join predicates.
+    let mut combos: Vec<Vec<Vec<Value>>> = vec![Vec::new()];
+    for &t in &q.tables {
+        let rows = eval_table(t);
+        let mut next = Vec::new();
+        for combo in &combos {
+            for r in &rows {
+                let mut c = combo.clone();
+                c.push(r.clone());
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+        .into_iter()
+        .filter(|combo| {
+            q.joins.iter().all(|j| {
+                let li = q.tables.iter().position(|&t| t == j.left.table).unwrap();
+                let ri = q.tables.iter().position(|&t| t == j.right.table).unwrap();
+                combo[li][j.left.column as usize] == combo[ri][j.right.column as usize]
+            })
+        })
+        .count()
+}
+
+/// Strategy: a random predicate on one of `a`'s three columns.
+fn pred(a: TableId) -> impl Strategy<Value = SelPred> {
+    (0u32..3, -5i64..30, -5i64..30, 0u8..3).prop_map(move |(col, x, y, kind)| {
+        let c = ColRef::new(a, col);
+        match kind {
+            0 => SelPred::eq(c, x),
+            1 => SelPred::between(c, x.min(y), x.max(y)),
+            _ => SelPred::ge(c, x),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Single-table queries agree with the reference evaluator under
+    /// every index configuration.
+    #[test]
+    fn single_table_matches_reference(
+        n in 1usize..800,
+        preds in prop::collection::vec(pred(TableId(0)), 0..3),
+        index_mask in 0u8..8,
+    ) {
+        let (db, a, _) = build_db(n, 7);
+        let q = Query::single(a, preds);
+        let mut cfg = PhysicalConfig::new();
+        for col in 0..3u32 {
+            if index_mask & (1 << col) != 0 {
+                cfg.create_index(&db, ColRef::new(a, col), IndexOrigin::Online);
+            }
+        }
+        let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
+        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        prop_assert_eq!(res.row_count as usize, reference(&db, &q));
+    }
+
+    /// Join queries agree with the reference evaluator, with and without
+    /// indexes (including the INLJ-enabled optimizer).
+    #[test]
+    fn join_matches_reference(
+        n_a in 1usize..400,
+        n_b in 1usize..40,
+        preds in prop::collection::vec(pred(TableId(0)), 0..2),
+        with_index in any::<bool>(),
+        inlj in any::<bool>(),
+    ) {
+        use colt_engine::{JoinPred, OptimizerOptions};
+        let (db, a, b) = build_db(n_a, n_b);
+        let q = Query::join(
+            vec![a, b],
+            vec![JoinPred::new(ColRef::new(a, 1), ColRef::new(b, 0))],
+            preds,
+        );
+        let mut cfg = PhysicalConfig::new();
+        if with_index {
+            cfg.create_index(&db, ColRef::new(a, 1), IndexOrigin::Online);
+        }
+        let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        prop_assert_eq!(res.row_count as usize, reference(&db, &q), "{}", plan.explain());
+    }
+
+    /// What-if gains always equal the cost delta of actually toggling
+    /// the index in the view.
+    #[test]
+    fn whatif_equals_reoptimization_delta(
+        n in 50usize..600,
+        preds in prop::collection::vec(pred(TableId(0)), 1..3),
+        probe_col in 0u32..3,
+        materialized in any::<bool>(),
+    ) {
+        let (db, a, _) = build_db(n, 7);
+        let q = Query::single(a, preds);
+        let col = ColRef::new(a, probe_col);
+        let mut cfg = PhysicalConfig::new();
+        if materialized {
+            cfg.create_index(&db, col, IndexOrigin::Online);
+        }
+        let mut eqo = Eqo::new(&db);
+        let gain = eqo.what_if_optimize(&q, &[col], &cfg)[0].gain;
+
+        // Recompute the delta by brute force on two configs.
+        let mut with = PhysicalConfig::new();
+        with.create_index(&db, col, IndexOrigin::Online);
+        let without = PhysicalConfig::new();
+        let opt = Optimizer::new(&db);
+        let c_with = opt.optimize(&q, IndexSetView::real(&with)).est_cost();
+        let c_without = opt.optimize(&q, IndexSetView::real(&without)).est_cost();
+        prop_assert!((gain - (c_without - c_with).max(0.0)).abs() < 1e-6,
+            "gain {gain} vs delta {}", c_without - c_with);
+    }
+
+    /// Optimizer plan costs are never higher than the forced-seqscan
+    /// plan under the same view (the optimizer must not pessimize).
+    #[test]
+    fn optimizer_never_pessimizes(
+        n in 50usize..600,
+        preds in prop::collection::vec(pred(TableId(0)), 1..3),
+        index_mask in 0u8..8,
+    ) {
+        let (db, a, _) = build_db(n, 7);
+        let q = Query::single(a, preds);
+        let mut cfg = PhysicalConfig::new();
+        for col in 0..3u32 {
+            if index_mask & (1 << col) != 0 {
+                cfg.create_index(&db, ColRef::new(a, col), IndexOrigin::Online);
+            }
+        }
+        let opt = Optimizer::new(&db);
+        let chosen = opt.optimize(&q, IndexSetView::real(&cfg)).est_cost();
+        let bare = opt.optimize(&q, IndexSetView::real(&PhysicalConfig::new())).est_cost();
+        prop_assert!(chosen <= bare + 1e-9, "chosen {chosen} vs seq {bare}");
+    }
+
+    /// Aggregation counts always match the plain result cardinality.
+    #[test]
+    fn aggregate_count_matches_rows(
+        n in 1usize..500,
+        preds in prop::collection::vec(pred(TableId(0)), 0..2),
+    ) {
+        use colt_engine::{AggExpr, AggSpec};
+        let (db, a, _) = build_db(n, 7);
+        let q = Query::single(a, preds);
+        let cfg = PhysicalConfig::new();
+        let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
+        let exec = Executor::new(&db, &cfg);
+        let plain = exec.execute(&q, &plan).row_count;
+        let spec = AggSpec { group_by: vec![], exprs: vec![AggExpr::count_star()] };
+        let (_, rows) = exec.execute_aggregate(&q, &plan, &spec);
+        prop_assert_eq!(rows[0][0].clone(), Value::Int(plain as i64));
+    }
+
+    /// SQL parsing of generated statements round-trips the predicate
+    /// semantics: executing the parsed query matches the reference.
+    #[test]
+    fn parsed_sql_matches_reference(
+        n in 10usize..400,
+        eq in -5i64..30,
+        lo in -5i64..15,
+        width in 0i64..20,
+    ) {
+        let (db, _, _) = build_db(n, 7);
+        let sql = format!(
+            "SELECT * FROM a WHERE v = {eq} AND id BETWEEN {lo} AND {}",
+            lo + width
+        );
+        let parsed = colt_engine::parse_sql(&db, &sql).unwrap();
+        prop_assert!(parsed.agg.is_none());
+        let cfg = PhysicalConfig::new();
+        let plan = Optimizer::new(&db).optimize(&parsed.query, IndexSetView::real(&cfg));
+        let res = Executor::new(&db, &cfg).execute(&parsed.query, &plan);
+        prop_assert_eq!(res.row_count as usize, reference(&db, &parsed.query));
+        // And the parsed predicates have the intended shapes.
+        let eq_ok = matches!(parsed.query.selections[0].kind, PredicateKind::Eq(_));
+        let range_ok = matches!(parsed.query.selections[1].kind, PredicateKind::Range { .. });
+        prop_assert!(eq_ok && range_ok);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Three-table chains agree with the reference for every index
+    /// configuration and optimizer option.
+    #[test]
+    fn three_table_chain_matches_reference(
+        n_a in 1usize..150,
+        n_b in 1usize..30,
+        preds in prop::collection::vec(pred(TableId(0)), 0..2),
+        index_mask in 0u8..4,
+        inlj in any::<bool>(),
+    ) {
+        use colt_engine::{JoinPred, OptimizerOptions};
+        // Chain: a.fk = b.id, b.w = c.id (c = a small extra table).
+        let (mut db, a, b) = build_db(n_a, n_b);
+        let c = db.add_table(TableSchema::new(
+            "c",
+            vec![Column::new("id", ValueType::Int)],
+        ));
+        db.insert_rows(c, (0..5i64).map(|i| row_from(vec![Value::Int(i)])));
+        db.analyze_all();
+
+        let q = Query::join(
+            vec![a, b, c],
+            vec![
+                JoinPred::new(ColRef::new(a, 1), ColRef::new(b, 0)),
+                JoinPred::new(ColRef::new(b, 1), ColRef::new(c, 0)),
+            ],
+            preds,
+        );
+        let mut cfg = PhysicalConfig::new();
+        if index_mask & 1 != 0 {
+            cfg.create_index(&db, ColRef::new(a, 1), IndexOrigin::Online);
+        }
+        if index_mask & 2 != 0 {
+            cfg.create_index(&db, ColRef::new(b, 0), IndexOrigin::Online);
+        }
+        let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        prop_assert_eq!(res.row_count as usize, reference(&db, &q), "{}", plan.explain());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The SQL parser never panics, whatever bytes it is fed.
+    #[test]
+    fn sql_parser_never_panics(input in "\\PC{0,120}") {
+        let (db, _, _) = build_db(10, 5);
+        let _ = colt_engine::parse_sql(&db, &input);
+    }
+
+    /// Near-miss SQL (valid tokens, scrambled structure) never panics
+    /// and either parses or errors cleanly.
+    #[test]
+    fn sql_token_soup_never_panics(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "select", "from", "where", "and", "between", "group", "by",
+                "a", "b", "id", "fk", "v", "w", "*", ",", ".", "(", ")",
+                "=", "<", "<=", ">", ">=", "1", "2.5", "'x'", "count", "sum",
+            ]),
+            0..25,
+        ),
+    ) {
+        let (db, _, _) = build_db(10, 5);
+        let input = words.join(" ");
+        if let Ok(parsed) = colt_engine::parse_sql(&db, &input) {
+            // Anything that parses must be a valid query.
+            prop_assert!(parsed.query.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # colt-harness
+//!
+//! Experiment driver for the COLT reproduction: runs a query stream
+//! under a tuning policy (COLT, idealized OFFLINE, or no tuning),
+//! charging tuning overhead exactly as the paper's methodology does, and
+//! renders paper-style bucketed comparisons, what-if overhead series,
+//! and time ratios.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod multiclient;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{adaptation_latency, budget_utilization, convergence_point};
+pub use multiclient::{interleave, split_round_robin};
+pub use report::{bucket_rows, render_buckets, render_whatif_series, time_ratio, BucketRow};
+pub use runner::{
+    run_colt, run_colt_with_strategy, run_none, run_offline, QuerySample, RunResult,
+    WHATIF_COST_UNITS,
+};

@@ -1,0 +1,159 @@
+//! Paper-style textual rendering of the experiment results.
+//!
+//! The figures of the paper are stacked bar charts: per 50-query bucket,
+//! a grey region for the faster technique's time, and a black (COLT
+//! extra) or white (OFFLINE extra) region for the slower one's excess.
+//! We render the same information as aligned text tables plus ASCII
+//! bars, which diff cleanly and paste into EXPERIMENTS.md.
+
+use crate::runner::RunResult;
+
+/// One row of a Figure-3/4-style comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketRow {
+    /// Index of the last query in the bucket (1-based, as in the paper's
+    /// x-axis labels: 50, 100, …).
+    pub upto: usize,
+    /// Total COLT time in the bucket (ms).
+    pub colt: f64,
+    /// Total OFFLINE time in the bucket (ms).
+    pub offline: f64,
+}
+
+impl BucketRow {
+    /// Time of the faster technique (the grey region).
+    pub fn minimum(&self) -> f64 {
+        self.colt.min(self.offline)
+    }
+
+    /// COLT's excess over OFFLINE (the black region), 0 when COLT wins.
+    pub fn colt_extra(&self) -> f64 {
+        (self.colt - self.offline).max(0.0)
+    }
+
+    /// OFFLINE's excess over COLT (the white region), 0 when it wins.
+    pub fn offline_extra(&self) -> f64 {
+        (self.offline - self.colt).max(0.0)
+    }
+}
+
+/// Bucket two runs into Figure-3/4 rows.
+pub fn bucket_rows(colt: &RunResult, offline: &RunResult, bucket: usize) -> Vec<BucketRow> {
+    let a = colt.bucket_millis(bucket);
+    let b = offline.bucket_millis(bucket);
+    a.iter()
+        .zip(&b)
+        .enumerate()
+        .map(|(i, (&c, &o))| BucketRow { upto: (i + 1) * bucket, colt: c, offline: o })
+        .collect()
+}
+
+/// Render rows as an aligned table with an ASCII stacked bar.
+pub fn render_buckets(title: &str, rows: &[BucketRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str("  query   minimum     COLT-extra  OFF-extra   bar (#=min, B=COLT extra, o=OFFLINE extra)\n");
+    let max = rows.iter().map(|r| r.colt.max(r.offline)).fold(1.0f64, f64::max);
+    for r in rows {
+        let scale = 48.0 / max;
+        let g = (r.minimum() * scale).round() as usize;
+        let b = (r.colt_extra() * scale).round() as usize;
+        let w = (r.offline_extra() * scale).round() as usize;
+        out.push_str(&format!(
+            "  {:>5}   {:>9.1}   {:>9.1}   {:>9.1}   {}{}{}\n",
+            r.upto,
+            r.minimum(),
+            r.colt_extra(),
+            r.offline_extra(),
+            "#".repeat(g),
+            "B".repeat(b),
+            "o".repeat(w),
+        ));
+    }
+    let colt_total: f64 = rows.iter().map(|r| r.colt).sum();
+    let off_total: f64 = rows.iter().map(|r| r.offline).sum();
+    out.push_str(&format!(
+        "  total: COLT {colt_total:.1} ms, OFFLINE {off_total:.1} ms ({:+.1}% for COLT)\n",
+        (colt_total / off_total - 1.0) * 100.0
+    ));
+    out
+}
+
+/// Render a per-epoch what-if series (Figure 5) as an ASCII chart.
+pub fn render_whatif_series(title: &str, series: &[u64], max_budget: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("  epoch  #what-if (budget {max_budget})\n"));
+    for (i, &v) in series.iter().enumerate() {
+        out.push_str(&format!("  {:>5}  {:>3}  {}\n", i, v, "*".repeat(v as usize)));
+    }
+    out
+}
+
+/// Compute the COLT/OFFLINE execution-time ratio over a range (the
+/// metric of Figure 6).
+pub fn time_ratio(colt: &RunResult, offline: &RunResult, skip: usize) -> f64 {
+    let c = colt.range_millis(skip..colt.samples.len());
+    let o = offline.range_millis(skip..offline.samples.len());
+    c / o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::QuerySample;
+    use colt_core::Trace;
+
+    fn fake_run(policy: &'static str, times: &[f64]) -> RunResult {
+        RunResult {
+            policy,
+            samples: times
+                .iter()
+                .map(|&t| QuerySample { exec_millis: t, tuning_millis: 0.0, rows: 0 })
+                .collect(),
+            trace: Trace::new(),
+            final_indices: Vec::new(),
+            offline: None,
+            profiled_indices: 0,
+        }
+    }
+
+    #[test]
+    fn bucket_rows_regions() {
+        let colt = fake_run("COLT", &[10.0, 10.0, 5.0, 5.0]);
+        let off = fake_run("OFFLINE", &[5.0, 5.0, 10.0, 10.0]);
+        let rows = bucket_rows(&colt, &off, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].minimum(), 10.0);
+        assert_eq!(rows[0].colt_extra(), 10.0);
+        assert_eq!(rows[0].offline_extra(), 0.0);
+        assert_eq!(rows[1].colt_extra(), 0.0);
+        assert_eq!(rows[1].offline_extra(), 10.0);
+    }
+
+    #[test]
+    fn render_includes_totals() {
+        let colt = fake_run("COLT", &[10.0, 10.0]);
+        let off = fake_run("OFFLINE", &[5.0, 5.0]);
+        let rows = bucket_rows(&colt, &off, 1);
+        let s = render_buckets("Test", &rows);
+        assert!(s.contains("COLT 20.0 ms"));
+        assert!(s.contains("OFFLINE 10.0 ms"));
+        assert!(s.contains("+100.0%"));
+    }
+
+    #[test]
+    fn ratio_skips_warmup() {
+        let colt = fake_run("COLT", &[100.0, 10.0, 10.0]);
+        let off = fake_run("OFFLINE", &[1.0, 10.0, 10.0]);
+        assert!((time_ratio(&colt, &off, 1) - 1.0).abs() < 1e-9);
+        assert!(time_ratio(&colt, &off, 0) > 1.0);
+    }
+
+    #[test]
+    fn whatif_series_renders() {
+        let s = render_whatif_series("Fig5", &[20, 3, 0], 20);
+        assert!(s.contains("epoch"));
+        assert!(s.contains("********************"));
+    }
+}

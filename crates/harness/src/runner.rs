@@ -1,0 +1,314 @@
+//! Experiment runner: drives a query stream through the engine under a
+//! tuning policy and records per-query simulated times.
+//!
+//! The accounting follows the paper's methodology (§6.1):
+//!
+//! * **OFFLINE** — indices are selected and materialized before the run
+//!   and none of that work is charged; per-query time is pure execution.
+//! * **COLT** — the run starts with an empty on-line index set and every
+//!   cost of tuning is charged to the stream: what-if optimizer calls
+//!   (a constant optimizer charge per probe, cheap thanks to memo reuse)
+//!   and index materialization (full build I/O, charged at the epoch
+//!   boundary where the build happens — the paper's "index creation
+//!   contributes significantly to the execution time during this
+//!   period").
+//! * **NONE** — no tuning at all; the pre-tuned baseline.
+
+use colt_catalog::{ColRef, Database, PhysicalConfig};
+use colt_core::{ColtConfig, ColtTuner, MaterializationStrategy, Trace};
+use colt_engine::{Eqo, Executor, Query};
+use colt_offline::OfflineSelection;
+use serde::{Deserialize, Serialize};
+
+/// Optimizer charge per what-if probe, in cost units. The prototype's
+/// what-if optimizer reuses intermediate solutions of the initial
+/// optimization, so a probe is far cheaper than a query; five cost
+/// units ≈ reading five sequential pages.
+pub const WHATIF_COST_UNITS: f64 = 5.0;
+
+/// Per-query outcome of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuerySample {
+    /// Pure execution time (simulated ms).
+    pub exec_millis: f64,
+    /// Tuning overhead charged to this query (what-if + builds), ms.
+    pub tuning_millis: f64,
+    /// Result cardinality (sanity checking).
+    pub rows: u64,
+}
+
+impl QuerySample {
+    /// Total charged time.
+    pub fn total_millis(&self) -> f64 {
+        self.exec_millis + self.tuning_millis
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Label of the policy ("COLT", "OFFLINE", "NONE").
+    pub policy: &'static str,
+    /// Per-query samples, in stream order.
+    pub samples: Vec<QuerySample>,
+    /// COLT's epoch trace (empty for other policies).
+    pub trace: Trace,
+    /// Indices materialized when the run ended.
+    pub final_indices: Vec<ColRef>,
+    /// OFFLINE's selection, when applicable.
+    pub offline: Option<OfflineSelection>,
+    /// Number of relevant (restricted) columns that received accurate
+    /// (what-if) profiling — COLT only.
+    pub profiled_indices: usize,
+}
+
+impl RunResult {
+    /// Total charged time of the run in simulated ms.
+    pub fn total_millis(&self) -> f64 {
+        self.samples.iter().map(|s| s.total_millis()).sum()
+    }
+
+    /// Total time over a sub-range of the stream.
+    pub fn range_millis(&self, range: std::ops::Range<usize>) -> f64 {
+        self.samples[range].iter().map(|s| s.total_millis()).sum()
+    }
+
+    /// Sum charged time per consecutive bucket of `size` queries — the
+    /// bars of Figures 3 and 4.
+    pub fn bucket_millis(&self, size: usize) -> Vec<f64> {
+        self.samples.chunks(size).map(|c| c.iter().map(|s| s.total_millis()).sum()).collect()
+    }
+
+    /// Serialize a run summary (policy, totals, per-epoch what-if
+    /// series, final indices) as pretty JSON — the EXPERIMENTS.md
+    /// artifact format.
+    pub fn summary_json(&self) -> String {
+        let summary = serde_json::json!({
+            "policy": self.policy,
+            "queries": self.samples.len(),
+            "total_millis": self.total_millis(),
+            "exec_millis": self.samples.iter().map(|s| s.exec_millis).sum::<f64>(),
+            "tuning_millis": self.samples.iter().map(|s| s.tuning_millis).sum::<f64>(),
+            "whatif_per_epoch": self.trace.whatif_per_epoch(),
+            "total_builds": self.trace.total_builds(),
+            "final_indices": self.final_indices,
+            "profiled_indices": self.profiled_indices,
+        });
+        serde_json::to_string_pretty(&summary).expect("summary serializes")
+    }
+}
+
+/// Run the stream with no tuning at all.
+pub fn run_none(db: &Database, workload: &[Query]) -> RunResult {
+    let config = PhysicalConfig::new();
+    let mut eqo = Eqo::new(db);
+    let samples = workload
+        .iter()
+        .map(|q| {
+            let plan = eqo.optimize(q, &config);
+            let res = Executor::new(db, &config).execute(q, &plan);
+            QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count }
+        })
+        .collect();
+    RunResult {
+        policy: "NONE",
+        samples,
+        trace: Trace::new(),
+        final_indices: Vec::new(),
+        offline: None,
+        profiled_indices: 0,
+    }
+}
+
+/// Run the stream under the idealized OFFLINE policy: the optimal index
+/// set for `analyzed` (usually the whole workload; the noise experiment
+/// passes only the base distribution's queries) is materialized for
+/// free before the stream starts.
+pub fn run_offline(
+    db: &Database,
+    workload: &[Query],
+    analyzed: &[Query],
+    budget_pages: u64,
+) -> RunResult {
+    let selection = colt_offline::select(db, analyzed, budget_pages);
+    let config = colt_offline::materialize(db, &selection);
+    let mut eqo = Eqo::new(db);
+    let samples = workload
+        .iter()
+        .map(|q| {
+            let plan = eqo.optimize(q, &config);
+            let res = Executor::new(db, &config).execute(q, &plan);
+            QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count }
+        })
+        .collect();
+    RunResult {
+        policy: "OFFLINE",
+        samples,
+        trace: Trace::new(),
+        final_indices: config.columns().collect(),
+        offline: Some(selection),
+        profiled_indices: 0,
+    }
+}
+
+/// Run the stream under COLT, charging all tuning overhead to it.
+pub fn run_colt(db: &Database, workload: &[Query], colt_config: ColtConfig) -> RunResult {
+    run_colt_with_strategy(db, workload, colt_config, MaterializationStrategy::Immediate)
+}
+
+/// Run the stream under COLT with an explicit materialization strategy.
+///
+/// * `Immediate` — builds are charged to the query that triggered the
+///   epoch boundary (the paper's accounting).
+/// * `IdleTime` — an idle window is assumed between epochs: deferred
+///   builds happen there and are *not* charged to the stream, but
+///   queries meanwhile run without the pending indices.
+/// * `Piggyback` — builds ride on later sequential scans; only the sort
+///   and index writes are charged.
+pub fn run_colt_with_strategy(
+    db: &Database,
+    workload: &[Query],
+    colt_config: ColtConfig,
+    strategy: MaterializationStrategy,
+) -> RunResult {
+    let mut physical = PhysicalConfig::new();
+    let mut tuner = ColtTuner::with_strategy(colt_config, strategy);
+    let mut eqo = Eqo::new(db);
+    let mut samples = Vec::with_capacity(workload.len());
+    let mut whatif_before = 0u64;
+
+    for q in workload {
+        let plan = eqo.optimize(q, &physical);
+        let res = Executor::new(db, &physical).execute(q, &plan);
+
+        let step = tuner.on_query(db, &mut physical, &mut eqo, q, &plan);
+        if strategy == MaterializationStrategy::IdleTime && step.epoch_closed {
+            // Epoch boundary = assumed idle window; deferred builds run
+            // in the background, uncharged.
+            tuner.on_idle(db, &mut physical);
+        }
+
+        let whatif_now = eqo.counters().whatif_calls;
+        let whatif_cost =
+            (whatif_now - whatif_before) as f64 * WHATIF_COST_UNITS * db.cost.ms_per_cost_unit;
+        whatif_before = whatif_now;
+        let build_cost = db.cost.millis_of(&step.build_io);
+
+        samples.push(QuerySample {
+            exec_millis: res.millis,
+            tuning_millis: whatif_cost + build_cost,
+            rows: res.row_count,
+        });
+    }
+
+    RunResult {
+        policy: "COLT",
+        profiled_indices: tuner.profiler().profiled_index_count(),
+        trace: tuner.trace().clone(),
+        final_indices: physical.online_columns().collect(),
+        offline: None,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_catalog::{Column, TableId, TableSchema};
+    use colt_engine::SelPred;
+    use colt_storage::{row_from, Value, ValueType};
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.add_table(TableSchema::new(
+            "t",
+            vec![Column::new("id", ValueType::Int), Column::new("g", ValueType::Int)],
+        ));
+        db.insert_rows(t, (0..20_000i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 20)])));
+        db.analyze_all();
+        (db, t)
+    }
+
+    fn selective_stream(t: TableId, n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| Query::single(t, vec![SelPred::eq(ColRef::new(t, 0), (i * 13 % 20_000) as i64)]))
+            .collect()
+    }
+
+    #[test]
+    fn none_vs_offline_vs_colt_ordering() {
+        let (db, t) = setup();
+        let w = selective_stream(t, 200);
+        let budget = db.index_estimate(ColRef::new(t, 0)).pages + 10;
+
+        let none = run_none(&db, &w);
+        let offline = run_offline(&db, &w, &w, budget);
+        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: budget, ..Default::default() });
+
+        // OFFLINE (free index from query 0) must beat NONE decisively.
+        assert!(offline.total_millis() < none.total_millis() * 0.2);
+        // COLT converges: it must land between OFFLINE and NONE and well
+        // below NONE.
+        assert!(colt.total_millis() < none.total_millis() * 0.7,
+            "colt {} vs none {}", colt.total_millis(), none.total_millis());
+        assert!(colt.total_millis() >= offline.total_millis());
+        // After convergence, COLT's tail matches OFFLINE closely.
+        let tail = 150..200;
+        let colt_tail = colt.range_millis(tail.clone());
+        let off_tail = offline.range_millis(tail);
+        assert!(
+            (colt_tail - off_tail).abs() / off_tail < 0.1,
+            "tail: colt {colt_tail} vs offline {off_tail}"
+        );
+        assert_eq!(colt.final_indices, vec![ColRef::new(t, 0)]);
+    }
+
+    #[test]
+    fn colt_charges_tuning_overhead() {
+        let (db, t) = setup();
+        let w = selective_stream(t, 100);
+        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: 100_000, ..Default::default() });
+        let tuning: f64 = colt.samples.iter().map(|s| s.tuning_millis).sum();
+        assert!(tuning > 0.0, "what-if and build overhead must be charged");
+        assert!(colt.trace.total_whatif() > 0);
+        assert!(colt.profiled_indices >= 1);
+    }
+
+    #[test]
+    fn bucket_sums_cover_everything() {
+        let (db, t) = setup();
+        let w = selective_stream(t, 100);
+        let none = run_none(&db, &w);
+        let buckets = none.bucket_millis(30);
+        assert_eq!(buckets.len(), 4); // 30+30+30+10
+        let sum: f64 = buckets.iter().sum();
+        assert!((sum - none.total_millis()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let (db, t) = setup();
+        let w = selective_stream(t, 60);
+        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: 100_000, ..Default::default() });
+        let json = colt.summary_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["policy"], "COLT");
+        assert_eq!(v["queries"], 60);
+        assert!(v["total_millis"].as_f64().unwrap() > 0.0);
+        assert!(v["whatif_per_epoch"].is_array());
+    }
+
+    #[test]
+    fn results_identical_rows_across_policies() {
+        let (db, t) = setup();
+        let w = selective_stream(t, 60);
+        let budget = 100_000;
+        let none = run_none(&db, &w);
+        let offline = run_offline(&db, &w, &w, budget);
+        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: budget, ..Default::default() });
+        for i in 0..w.len() {
+            assert_eq!(none.samples[i].rows, offline.samples[i].rows, "query {i}");
+            assert_eq!(none.samples[i].rows, colt.samples[i].rows, "query {i}");
+        }
+    }
+}

@@ -1,0 +1,837 @@
+//! An arena-based B+ tree mapping column values to row ids.
+//!
+//! This is the physical structure behind every single-column index the
+//! tuner can materialize. It supports duplicate keys (secondary index
+//! semantics), point lookups, inclusive/exclusive range scans, one-by-one
+//! inserts and sorted bulk loading, and charges [`IoStats`] for the pages
+//! a disk-resident tree of the same shape would touch: one random page
+//! per level on a descent, one sequential page per additional leaf
+//! visited while scanning the leaf chain.
+
+use crate::page::{IoStats, PAGE_SIZE};
+use crate::row::RowId;
+use crate::value::Value;
+use std::ops::Bound;
+
+/// Index of a node in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeId(u32);
+
+/// The bound every tree key type must satisfy. Blanket-implemented;
+/// [`Value`] covers single-column indices, `Vec<Value>` covers the
+/// multi-column extension (lexicographic composite keys).
+pub trait TreeKey: Ord + Clone + std::fmt::Debug {}
+impl<K: Ord + Clone + std::fmt::Debug> TreeKey for K {}
+
+/// Per-key decision of a [`BPlusTreeOf::scan_from`] traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanControl {
+    /// Emit this entry and continue.
+    Take,
+    /// Skip this entry and continue.
+    Skip,
+    /// End the scan (keys are sorted; nothing later can match).
+    Stop,
+}
+
+#[derive(Debug, Clone)]
+enum Node<K: TreeKey> {
+    /// Routing node: `children.len() == keys.len() + 1`; subtree `i`
+    /// holds composites `< keys[i]`, subtree `i+1` holds composites
+    /// `>= keys[i]`. The routing composite `(key, rowid)` is unique
+    /// because every index entry pairs a key with the unique id of its
+    /// row, which keeps separator invariants strict even when many rows
+    /// share the same key.
+    Internal { keys: Vec<(K, RowId)>, children: Vec<NodeId> },
+    /// Leaf node: sorted `(key, rowid)` entries plus a chain pointer.
+    Leaf { entries: Vec<(K, RowId)>, next: Option<NodeId> },
+}
+
+/// A B+ tree index over one column of one table.
+///
+/// # Examples
+///
+/// ```
+/// use colt_storage::{BPlusTree, IoStats, RowId, Value};
+/// use std::ops::Bound;
+///
+/// let mut tree = BPlusTree::new(8);
+/// for i in 0..1_000 {
+///     tree.insert(Value::Int(i), RowId(i as u32));
+/// }
+///
+/// let mut io = IoStats::new();
+/// assert_eq!(tree.lookup(&Value::Int(42), &mut io), vec![RowId(42)]);
+/// // The descent charged one random page per level.
+/// assert_eq!(io.random_pages, tree.height() as u64);
+///
+/// let hits = tree.range(
+///     Bound::Included(Value::Int(10)),
+///     Bound::Excluded(Value::Int(20)),
+///     &mut io,
+/// );
+/// assert_eq!(hits.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BPlusTreeOf<K: TreeKey> {
+    arena: Vec<Node<K>>,
+    root: NodeId,
+    height: usize,
+    len: usize,
+    /// Maximum entries per node; derived from the key width by default.
+    order: usize,
+}
+
+/// A single-column B+ tree — the physical structure of the paper's
+/// indices.
+pub type BPlusTree = BPlusTreeOf<Value>;
+
+/// A multi-column B+ tree over lexicographic composite keys — the
+/// paper's "future work" extension.
+pub type CompositeBPlusTree = BPlusTreeOf<Vec<Value>>;
+
+/// Entries per node for a key of the given byte width, assuming each leaf
+/// entry also stores a 6-byte tuple pointer plus item overhead.
+pub fn default_order(key_width: usize) -> usize {
+    (PAGE_SIZE / (key_width + 14)).clamp(8, 512)
+}
+
+impl<K: TreeKey> BPlusTreeOf<K> {
+    /// Create an empty tree whose node capacity is derived from the key
+    /// byte width.
+    pub fn new(key_width: usize) -> Self {
+        Self::with_order(default_order(key_width))
+    }
+
+    /// Create an empty tree with an explicit node capacity (mostly for
+    /// tests that want to exercise deep trees with few keys).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "B+ tree order must be at least 4");
+        BPlusTreeOf {
+            arena: vec![Node::Leaf { entries: Vec::new(), next: None }],
+            root: NodeId(0),
+            height: 1,
+            len: 0,
+            order,
+        }
+    }
+
+    /// Bulk-load a tree from entries that are already sorted by key.
+    ///
+    /// Leaves are filled to ~90% occupancy, matching the fill factor of a
+    /// freshly built database index.
+    pub fn bulk_load(key_width: usize, mut entries: Vec<(K, RowId)>) -> Self {
+        let order = default_order(key_width);
+        debug_assert!(
+            entries.windows(2).all(|w| (&w[0].0, w[0].1) <= (&w[1].0, w[1].1)),
+            "bulk_load requires input sorted by (key, rowid)"
+        );
+        let fill = (order * 9 / 10).max(4);
+        if entries.is_empty() {
+            return Self::with_order(order);
+        }
+        let mut arena: Vec<Node<K>> = Vec::new();
+        let len = entries.len();
+
+        // Build the leaf level.
+        let mut level: Vec<((K, RowId), NodeId)> = Vec::new(); // (first composite key, node)
+        let mut chunks: Vec<Vec<(K, RowId)>> = Vec::new();
+        while !entries.is_empty() {
+            let take = fill.min(entries.len());
+            let rest = entries.split_off(take);
+            chunks.push(std::mem::replace(&mut entries, rest));
+        }
+        // Avoid a final underfull leaf when possible by rebalancing the
+        // last two chunks.
+        if chunks.len() >= 2 {
+            let last = chunks.len() - 1;
+            if chunks[last].len() < fill / 2 {
+                let need = fill / 2 - chunks[last].len();
+                let prev = &mut chunks[last - 1];
+                let moved = prev.split_off(prev.len() - need);
+                let mut tail = std::mem::take(&mut chunks[last]);
+                let mut merged = moved;
+                merged.append(&mut tail);
+                chunks[last] = merged;
+            }
+        }
+        for chunk in chunks {
+            let first = chunk[0].clone();
+            let id = NodeId(arena.len() as u32);
+            arena.push(Node::Leaf { entries: chunk, next: None });
+            level.push((first, id));
+        }
+        // Wire the leaf chain.
+        for i in 0..level.len().saturating_sub(1) {
+            let next = level[i + 1].1;
+            if let Node::Leaf { next: n, .. } = &mut arena[level[i].1 .0 as usize] {
+                *n = Some(next);
+            }
+        }
+
+        // Build internal levels bottom-up.
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level = Vec::new();
+            for group in level.chunks(fill.max(2)) {
+                let first = group[0].0.clone();
+                let keys = group[1..].iter().map(|(k, _)| k.clone()).collect();
+                let children = group.iter().map(|(_, id)| *id).collect();
+                let id = NodeId(arena.len() as u32);
+                arena.push(Node::Internal { keys, children });
+                next_level.push((first, id));
+            }
+            level = next_level;
+        }
+        let root = level[0].1;
+        BPlusTreeOf { arena, root, height, len, order }
+    }
+
+    /// Number of entries in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (number of levels including the leaf level).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of nodes, which is the page footprint of the index.
+    pub fn page_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Approximate size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.page_count() * PAGE_SIZE
+    }
+
+    fn node(&self, id: NodeId) -> &Node<K> {
+        &self.arena[id.0 as usize]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<K> {
+        &mut self.arena[id.0 as usize]
+    }
+
+    fn alloc(&mut self, node: Node<K>) -> NodeId {
+        let id = NodeId(self.arena.len() as u32);
+        self.arena.push(node);
+        id
+    }
+
+    /// Descend to the leaf that may contain `key`, charging one random
+    /// page per level, and return the path of internal nodes taken.
+    fn descend(&self, key: &(K, RowId), io: &mut IoStats) -> (NodeId, Vec<(NodeId, usize)>) {
+        let mut path = Vec::with_capacity(self.height);
+        let mut cur = self.root;
+        io.random_pages += 1;
+        loop {
+            match self.node(cur) {
+                Node::Internal { keys, children } => {
+                    let slot = keys.partition_point(|k| k <= key);
+                    path.push((cur, slot));
+                    cur = children[slot];
+                    io.random_pages += 1;
+                }
+                Node::Leaf { .. } => return (cur, path),
+            }
+        }
+    }
+
+    /// Insert an entry. Duplicate keys are allowed.
+    pub fn insert(&mut self, key: K, row: RowId) {
+        let mut io = IoStats::new(); // insert path charging folded into build cost elsewhere
+        let ckey = (key, row);
+        let (leaf, path) = self.descend(&ckey, &mut io);
+        let order = self.order;
+        if let Node::Leaf { entries, .. } = self.node_mut(leaf) {
+            let pos = entries.partition_point(|(k, r)| (k, r) < (&ckey.0, &ckey.1));
+            entries.insert(pos, ckey);
+        }
+        self.len += 1;
+        self.split_up(leaf, path, order);
+    }
+
+    /// Split overflowing nodes from `node` up along `path`.
+    fn split_up(&mut self, mut node: NodeId, mut path: Vec<(NodeId, usize)>, order: usize) {
+        loop {
+            let (sep, sibling) = match self.node_mut(node) {
+                Node::Leaf { entries, next } => {
+                    if entries.len() <= order {
+                        return;
+                    }
+                    // Never split inside a run of equal composites: pick the
+                    // boundary closest to the midpoint where adjacent entries
+                    // differ. Exact duplicates only arise if a caller inserts
+                    // the same (value, rowid) twice; we still keep the tree
+                    // searchable by tolerating a temporarily oversized leaf
+                    // in the (degenerate) all-equal case.
+                    let half = entries.len() / 2;
+                    let differs = |i: usize| entries[i - 1] != entries[i];
+                    let mid = (half..entries.len())
+                        .find(|&i| differs(i))
+                        .or_else(|| (1..half).rev().find(|&i| differs(i)));
+                    let Some(mid) = mid else { return };
+                    let right_entries = entries.split_off(mid);
+                    let sep = right_entries[0].clone();
+                    let right_next = *next;
+                    let sibling = Node::Leaf { entries: right_entries, next: right_next };
+                    (sep, sibling)
+                }
+                Node::Internal { keys, children } => {
+                    if children.len() <= order {
+                        return;
+                    }
+                    let mid = keys.len() / 2;
+                    let sep = keys[mid].clone();
+                    let right_keys = keys.split_off(mid + 1);
+                    keys.pop(); // the separator moves up
+                    let right_children = children.split_off(mid + 1);
+                    (sep, Node::Internal { keys: right_keys, children: right_children })
+                }
+            };
+            let sib_id = self.alloc(sibling);
+            if let Node::Leaf { next, .. } = self.node_mut(node) {
+                *next = Some(sib_id);
+            }
+            match path.pop() {
+                Some((parent, slot)) => {
+                    if let Node::Internal { keys, children } = self.node_mut(parent) {
+                        keys.insert(slot, sep);
+                        children.insert(slot + 1, sib_id);
+                    }
+                    node = parent;
+                }
+                None => {
+                    // Split reached the root: grow the tree.
+                    let old_root = self.root;
+                    let new_root =
+                        self.alloc(Node::Internal { keys: vec![sep], children: vec![old_root, sib_id] });
+                    self.root = new_root;
+                    self.height += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Remove the entry `(key, row)` if present; returns whether it
+    /// existed.
+    ///
+    /// Deletion is *lazy*, as in PostgreSQL's nbtree: the entry is
+    /// removed from its leaf but underfull nodes are not merged and
+    /// separators are not rewritten (they remain valid as routing
+    /// bounds). Space is reclaimed when the index is rebuilt. All
+    /// search invariants are preserved; `page_count` reports the
+    /// original footprint until a rebuild.
+    pub fn remove(&mut self, key: &K, row: RowId) -> bool {
+        let mut io = IoStats::new();
+        let ckey = (key.clone(), row);
+        let (leaf, _) = self.descend(&ckey, &mut io);
+        // The entry may sit in a later leaf when duplicates straddle a
+        // (degenerate) split; walk the chain while keys may still match.
+        let mut cur = leaf;
+        loop {
+            let Node::Leaf { entries, next } = self.node_mut(cur) else { unreachable!() };
+            if let Some(pos) = entries.iter().position(|(k, r)| k == key && *r == row) {
+                entries.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+            // Stop once the leaf starts beyond the key.
+            let past = entries.first().is_some_and(|(k, _)| k > key);
+            match (past, *next) {
+                (false, Some(n)) => cur = n,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Point lookup: all row ids whose key equals `key`.
+    pub fn lookup(&self, key: &K, io: &mut IoStats) -> Vec<RowId> {
+        self.range(Bound::Included(key.clone()), Bound::Included(key.clone()), io)
+    }
+
+    /// Range scan over `[lo, hi]` bounds. Charges `height` random pages
+    /// for the initial descent and one sequential page per further leaf.
+    pub fn range(&self, lo: Bound<K>, hi: Bound<K>, io: &mut IoStats) -> Vec<RowId> {
+        let mut out = Vec::new();
+        let start_key = match &lo {
+            Bound::Included(k) | Bound::Excluded(k) => Some((k.clone(), RowId(0))),
+            Bound::Unbounded => None,
+        };
+        let (mut leaf, _) = match &start_key {
+            Some(k) => self.descend(k, io),
+            None => {
+                // Descend to the left-most leaf.
+                io.random_pages += self.height as u64;
+                (self.leftmost_leaf(), Vec::new())
+            }
+        };
+        let in_lo = |k: &K| match &lo {
+            Bound::Included(b) => k >= b,
+            Bound::Excluded(b) => k > b,
+            Bound::Unbounded => true,
+        };
+        let in_hi = |k: &K| match &hi {
+            Bound::Included(b) => k <= b,
+            Bound::Excluded(b) => k < b,
+            Bound::Unbounded => true,
+        };
+        let mut first = true;
+        loop {
+            let Node::Leaf { entries, next } = self.node(leaf) else { unreachable!("descend ends at leaf") };
+            if !first {
+                io.seq_pages += 1;
+            }
+            first = false;
+            for (k, rid) in entries {
+                if !in_hi(k) {
+                    io.cpu_ops += out.len() as u64;
+                    return out;
+                }
+                if in_lo(k) {
+                    out.push(*rid);
+                }
+            }
+            match next {
+                Some(n) => leaf = *n,
+                None => break,
+            }
+        }
+        io.cpu_ops += out.len() as u64;
+        out
+    }
+
+    /// Generalized ordered scan: descend to the first key `>= lo` (or
+    /// the leftmost leaf when unbounded) and walk the leaf chain,
+    /// letting `keep` decide per key whether to take, skip, or stop.
+    ///
+    /// This is the primitive behind composite-index prefix scans, where
+    /// the stopping condition ("key no longer starts with the prefix")
+    /// is not expressible as a closed upper bound on the key type.
+    pub fn scan_from(
+        &self,
+        lo: Bound<K>,
+        mut keep: impl FnMut(&K) -> ScanControl,
+        io: &mut IoStats,
+    ) -> Vec<RowId> {
+        let mut out = Vec::new();
+        let start_key = match &lo {
+            Bound::Included(k) | Bound::Excluded(k) => Some((k.clone(), RowId(0))),
+            Bound::Unbounded => None,
+        };
+        let mut leaf = match &start_key {
+            Some(k) => self.descend(k, io).0,
+            None => {
+                io.random_pages += self.height as u64;
+                self.leftmost_leaf()
+            }
+        };
+        let in_lo = |k: &K| match &lo {
+            Bound::Included(b) => k >= b,
+            Bound::Excluded(b) => k > b,
+            Bound::Unbounded => true,
+        };
+        let mut first = true;
+        loop {
+            let Node::Leaf { entries, next } = self.node(leaf) else { unreachable!() };
+            if !first {
+                io.seq_pages += 1;
+            }
+            first = false;
+            for (k, rid) in entries {
+                if !in_lo(k) {
+                    continue;
+                }
+                match keep(k) {
+                    ScanControl::Take => out.push(*rid),
+                    ScanControl::Skip => {}
+                    ScanControl::Stop => {
+                        io.cpu_ops += out.len() as u64;
+                        return out;
+                    }
+                }
+            }
+            match next {
+                Some(n) => leaf = *n,
+                None => break,
+            }
+        }
+        io.cpu_ops += out.len() as u64;
+        out
+    }
+
+    fn leftmost_leaf(&self) -> NodeId {
+        let mut cur = self.root;
+        loop {
+            match self.node(cur) {
+                Node::Internal { children, .. } => cur = children[0],
+                Node::Leaf { .. } => return cur,
+            }
+        }
+    }
+
+    /// Iterate all entries in key order (no I/O charged; used by tests
+    /// and statistics).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, RowId)> + '_ {
+        let mut leaves = Vec::new();
+        let mut cur = Some(self.leftmost_leaf());
+        while let Some(id) = cur {
+            let Node::Leaf { entries, next } = self.node(id) else { unreachable!() };
+            leaves.push(entries);
+            cur = *next;
+        }
+        leaves.into_iter().flatten().map(|(k, r)| (k, *r))
+    }
+
+    /// Like [`BPlusTree::check_invariants`] but tolerant of underfull
+    /// and empty leaves, which lazy deletion legitimately produces.
+    /// Test-support API.
+    pub fn check_invariants_after_deletes(&self) {
+        let iter_len = self.iter().count();
+        assert_eq!(iter_len, self.len, "len matches leaf chain");
+        let keys: Vec<_> = self.iter().map(|(k, _)| k.clone()).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "leaf chain sorted");
+    }
+
+    /// Verify structural invariants; panics with a description on
+    /// violation. Test-support API.
+    pub fn check_invariants(&self) {
+        let mut leaf_depths = Vec::new();
+        self.check_node(self.root, 1, None, None, &mut leaf_depths);
+        assert!(leaf_depths.iter().all(|&d| d == self.height), "all leaves at height {}", self.height);
+        let iter_len = self.iter().count();
+        assert_eq!(iter_len, self.len, "len matches leaf chain");
+        let keys: Vec<_> = self.iter().map(|(k, _)| k.clone()).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "leaf chain sorted");
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        depth: usize,
+        lo: Option<&(K, RowId)>,
+        hi: Option<&(K, RowId)>,
+        leaf_depths: &mut Vec<usize>,
+    ) {
+        match self.node(id) {
+            Node::Leaf { entries, .. } => {
+                leaf_depths.push(depth);
+                let all_equal = entries.windows(2).all(|w| w[0] == w[1]);
+                assert!(
+                    entries.len() <= self.order || all_equal,
+                    "leaf within capacity (unless degenerate all-equal run)"
+                );
+                for e in entries {
+                    if let Some(lo) = lo {
+                        assert!(e >= lo, "leaf key >= lower separator");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(e < hi, "leaf key < upper separator");
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "internal child/key arity");
+                assert!(children.len() <= self.order, "internal within capacity");
+                assert!(keys.windows(2).all(|w| w[0] <= w[1]), "separators sorted");
+                for i in 0..children.len() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    self.check_node(children[i], depth + 1, child_lo, child_hi, leaf_depths);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::new(8);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        let mut io = IoStats::new();
+        assert!(t.lookup(&v(1), &mut io).is_empty());
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100 {
+            t.insert(v(i), RowId(i as u32));
+        }
+        t.check_invariants();
+        let mut io = IoStats::new();
+        for i in 0..100 {
+            let hits = t.lookup(&v(i), &mut io);
+            assert_eq!(hits, vec![RowId(i as u32)], "key {i}");
+        }
+        assert!(t.height() > 2, "order-4 tree with 100 keys must be deep");
+    }
+
+    #[test]
+    fn duplicate_keys() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..50 {
+            t.insert(v(7), RowId(i));
+        }
+        t.check_invariants();
+        let mut io = IoStats::new();
+        let mut hits = t.lookup(&v(7), &mut io);
+        hits.sort();
+        assert_eq!(hits.len(), 50);
+        assert_eq!(hits[0], RowId(0));
+        assert_eq!(hits[49], RowId(49));
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut t = BPlusTree::with_order(5);
+        for i in 0..200 {
+            t.insert(v(i), RowId(i as u32));
+        }
+        let mut io = IoStats::new();
+        let r = t.range(Bound::Included(v(10)), Bound::Excluded(v(20)), &mut io);
+        assert_eq!(r.len(), 10);
+        let r = t.range(Bound::Excluded(v(10)), Bound::Included(v(20)), &mut io);
+        assert_eq!(r.len(), 10);
+        let r = t.range(Bound::Unbounded, Bound::Excluded(v(5)), &mut io);
+        assert_eq!(r.len(), 5);
+        let r = t.range(Bound::Included(v(195)), Bound::Unbounded, &mut io);
+        assert_eq!(r.len(), 5);
+        let r = t.range(Bound::Unbounded, Bound::Unbounded, &mut io);
+        assert_eq!(r.len(), 200);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let entries: Vec<_> = (0..1000).map(|i| (v(i), RowId(i as u32))).collect();
+        let bulk = BPlusTree::bulk_load(8, entries.clone());
+        bulk.check_invariants();
+        let mut incr = BPlusTree::new(8);
+        for (k, r) in entries {
+            incr.insert(k, r);
+        }
+        incr.check_invariants();
+        assert_eq!(bulk.len(), incr.len());
+        let a: Vec<_> = bulk.iter().map(|(k, r)| (k.clone(), r)).collect();
+        let b: Vec<_> = incr.iter().map(|(k, r)| (k.clone(), r)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let t = BPlusTree::bulk_load(8, vec![]);
+        assert!(t.is_empty());
+        let t = BPlusTree::bulk_load(8, vec![(v(1), RowId(0))]);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn descent_charges_height_random_pages() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..500 {
+            t.insert(v(i), RowId(i as u32));
+        }
+        let h = t.height() as u64;
+        let mut io = IoStats::new();
+        t.lookup(&v(250), &mut io);
+        assert_eq!(io.random_pages, h);
+    }
+
+    #[test]
+    fn long_range_charges_sequential_leaves() {
+        let entries: Vec<_> = (0..10_000).map(|i| (v(i), RowId(i as u32))).collect();
+        let t = BPlusTree::bulk_load(8, entries);
+        let mut io = IoStats::new();
+        let r = t.range(Bound::Unbounded, Bound::Unbounded, &mut io);
+        assert_eq!(r.len(), 10_000);
+        assert!(io.seq_pages > 10, "full scan should walk many leaves, got {}", io.seq_pages);
+        assert_eq!(io.random_pages, t.height() as u64);
+    }
+
+    #[test]
+    fn page_count_grows_with_entries() {
+        let small = BPlusTree::bulk_load(8, (0..100).map(|i| (v(i), RowId(i as u32))).collect());
+        let large = BPlusTree::bulk_load(8, (0..100_000).map(|i| (v(i), RowId(i as u32))).collect());
+        assert!(large.page_count() > small.page_count() * 100);
+        assert_eq!(large.byte_size(), large.page_count() * PAGE_SIZE);
+    }
+
+    #[test]
+    fn remove_existing_and_missing() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..300 {
+            t.insert(v(i), RowId(i as u32));
+        }
+        let mut io = IoStats::new();
+        assert!(t.remove(&v(150), RowId(150)));
+        assert!(!t.remove(&v(150), RowId(150)), "second removal fails");
+        assert!(!t.remove(&v(150), RowId(151)), "wrong rowid fails");
+        assert_eq!(t.len(), 299);
+        assert!(t.lookup(&v(150), &mut io).is_empty());
+        assert_eq!(t.lookup(&v(151), &mut io), vec![RowId(151)]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_duplicates_individually() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..30 {
+            t.insert(v(7), RowId(i));
+        }
+        for i in (0..30).step_by(2) {
+            assert!(t.remove(&v(7), RowId(i)));
+        }
+        let mut io = IoStats::new();
+        let mut hits = t.lookup(&v(7), &mut io);
+        hits.sort();
+        assert_eq!(hits, (1..30).step_by(2).map(RowId).collect::<Vec<_>>());
+        t.check_invariants_after_deletes();
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let mut t = BPlusTree::with_order(5);
+        for i in 0..200 {
+            t.insert(v(i), RowId(i as u32));
+        }
+        for i in 0..200 {
+            assert!(t.remove(&v(i), RowId(i as u32)), "remove {i}");
+        }
+        assert!(t.is_empty());
+        let mut io = IoStats::new();
+        assert!(t.range(Bound::Unbounded, Bound::Unbounded, &mut io).is_empty());
+        for i in 0..50 {
+            t.insert(v(i), RowId(i as u32));
+        }
+        assert_eq!(t.len(), 50);
+        t.check_invariants_after_deletes();
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        use crate::btree::CompositeBPlusTree;
+        let mut t = CompositeBPlusTree::with_order(6);
+        for a in 0..20i64 {
+            for b in 0..10i64 {
+                t.insert(vec![v(a), v(b)], RowId((a * 10 + b) as u32));
+            }
+        }
+        t.check_invariants();
+        let mut io = IoStats::new();
+        // Point lookup on the full composite.
+        assert_eq!(t.lookup(&vec![v(7), v(3)], &mut io), vec![RowId(73)]);
+        // Prefix range: every (7, *) entry via lexicographic bounds.
+        let hits = t.range(
+            Bound::Included(vec![v(7)]),
+            Bound::Excluded(vec![v(8)]),
+            &mut io,
+        );
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|r| (70..80).contains(&r.0)));
+        // Prefix + second-column range.
+        let hits = t.range(
+            Bound::Included(vec![v(7), v(2)]),
+            Bound::Included(vec![v(7), v(5)]),
+            &mut io,
+        );
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn scan_from_take_skip_stop() {
+        let mut t = BPlusTree::with_order(5);
+        for i in 0..100 {
+            t.insert(v(i), RowId(i as u32));
+        }
+        let mut io = IoStats::new();
+        // Take evens in [10, 30), stop at 30.
+        let hits = t.scan_from(
+            Bound::Included(v(10)),
+            |k| match k {
+                Value::Int(x) if *x >= 30 => crate::btree::ScanControl::Stop,
+                Value::Int(x) if *x % 2 == 0 => crate::btree::ScanControl::Take,
+                _ => crate::btree::ScanControl::Skip,
+            },
+            &mut io,
+        );
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|r| r.0 % 2 == 0 && (10..30).contains(&r.0)));
+    }
+
+    #[test]
+    fn composite_prefix_scan_via_scan_from() {
+        use crate::btree::{CompositeBPlusTree, ScanControl};
+        let mut t = CompositeBPlusTree::with_order(6);
+        for a in 0..20i64 {
+            for b in 0..10i64 {
+                t.insert(vec![v(a), v(b)], RowId((a * 10 + b) as u32));
+            }
+        }
+        let mut io = IoStats::new();
+        let prefix = vec![v(7)];
+        let hits = t.scan_from(
+            Bound::Included(prefix.clone()),
+            |k| {
+                if k.starts_with(&prefix) {
+                    ScanControl::Take
+                } else {
+                    ScanControl::Stop
+                }
+            },
+            &mut io,
+        );
+        assert_eq!(hits.len(), 10);
+        // Early stop keeps the scan short: far fewer leaves than a full
+        // traversal.
+        assert!(io.seq_pages < 5);
+    }
+
+    #[test]
+    fn composite_bulk_load_and_remove() {
+        use crate::btree::CompositeBPlusTree;
+        let entries: Vec<_> = (0..500i64)
+            .map(|i| (vec![v(i / 10), v(i % 10)], RowId(i as u32)))
+            .collect();
+        let t2 = CompositeBPlusTree::bulk_load(12, entries);
+        t2.check_invariants();
+        assert_eq!(t2.len(), 500);
+        let mut t2 = t2;
+        assert!(t2.remove(&vec![v(3), v(4)], RowId(34)));
+        assert_eq!(t2.len(), 499);
+        let mut io = IoStats::new();
+        assert!(t2.lookup(&vec![v(3), v(4)], &mut io).is_empty());
+    }
+
+    #[test]
+    fn random_insert_order_stays_valid() {
+        // Deterministic pseudo-shuffle without rand: LCG permutation.
+        let mut t = BPlusTree::with_order(6);
+        let mut x = 1u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            t.insert(v((x % 500) as i64), RowId((x % 10_000) as u32));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 2000);
+    }
+}

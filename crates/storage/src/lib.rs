@@ -1,0 +1,28 @@
+//! # colt-storage
+//!
+//! Storage substrate for the COLT reproduction: typed values, an 8 KiB
+//! page model with deterministic I/O accounting, append-only heap tables,
+//! and an arena-based B+ tree used for every materialized single-column
+//! index.
+//!
+//! Nothing here touches the filesystem. All tables live in memory and
+//! every operator charges [`page::IoStats`] for the pages a disk-resident
+//! system of the same shape would read or write; [`page::CostParams`]
+//! converts those counters into deterministic simulated milliseconds.
+//! See `DESIGN.md` §2 for why this substitution preserves the behaviour
+//! the paper measures.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod btree;
+pub mod heap;
+pub mod page;
+pub mod row;
+pub mod value;
+
+pub use btree::{BPlusTree, BPlusTreeOf, CompositeBPlusTree, ScanControl, TreeKey};
+pub use heap::HeapTable;
+pub use page::{pages_for, tuples_per_page, CostParams, IoStats, PAGE_SIZE};
+pub use row::{row_from, Row, RowId};
+pub use value::{Value, ValueType};

@@ -1,0 +1,204 @@
+//! The page model and I/O accounting.
+//!
+//! The reproduction does not persist data to disk; instead every physical
+//! operator charges a deterministic simulated clock for the pages it
+//! *would* have touched. The accounting distinguishes sequential from
+//! random page accesses, mirroring PostgreSQL's `seq_page_cost` /
+//! `random_page_cost` split, so that index scans are only attractive for
+//! selective predicates — the behaviour COLT's profiling must discover.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a page in bytes (PostgreSQL default).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Per-tuple overhead in bytes (header + item pointer), mirroring the heap
+/// tuple overhead in PostgreSQL.
+pub const TUPLE_OVERHEAD: usize = 28;
+
+/// Number of tuples of the given payload width that fit on one page.
+pub fn tuples_per_page(row_width: usize) -> usize {
+    (PAGE_SIZE / (row_width + TUPLE_OVERHEAD)).max(1)
+}
+
+/// Number of pages needed to store `rows` tuples of the given width.
+pub fn pages_for(rows: usize, row_width: usize) -> usize {
+    if rows == 0 {
+        return 0;
+    }
+    rows.div_ceil(tuples_per_page(row_width))
+}
+
+/// Counters of physical work performed by an operator or a whole query.
+///
+/// These are *actual* counts observed during execution, as opposed to the
+/// optimizer's estimates; the gap between the two is the realistic
+/// estimation noise COLT has to tolerate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Pages read in sequential order (heap scans, index leaf chains).
+    pub seq_pages: u64,
+    /// Pages read in random order (index descents, heap fetches by rowid).
+    pub random_pages: u64,
+    /// Tuples materialized or examined by an operator.
+    pub tuples: u64,
+    /// Pages written (index builds).
+    pub pages_written: u64,
+    /// Cheap per-row CPU operations (comparisons, hash probes).
+    pub cpu_ops: u64,
+}
+
+impl IoStats {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate another counter into this one.
+    pub fn accumulate(&mut self, other: &IoStats) {
+        self.seq_pages += other.seq_pages;
+        self.random_pages += other.random_pages;
+        self.tuples += other.tuples;
+        self.pages_written += other.pages_written;
+        self.cpu_ops += other.cpu_ops;
+    }
+
+    /// Total pages touched, regardless of access pattern.
+    pub fn total_pages(&self) -> u64 {
+        self.seq_pages + self.random_pages + self.pages_written
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(mut self, rhs: IoStats) -> IoStats {
+        self.accumulate(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.accumulate(&rhs);
+    }
+}
+
+impl std::ops::Sub for IoStats {
+    type Output = IoStats;
+    /// Difference of two counters; `rhs` must be component-wise ≤ `self`
+    /// (e.g. a snapshot taken earlier on the same accumulator).
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            seq_pages: self.seq_pages - rhs.seq_pages,
+            random_pages: self.random_pages - rhs.random_pages,
+            tuples: self.tuples - rhs.tuples,
+            pages_written: self.pages_written - rhs.pages_written,
+            cpu_ops: self.cpu_ops - rhs.cpu_ops,
+        }
+    }
+}
+
+/// Cost-model constants used to turn [`IoStats`] into simulated
+/// milliseconds. Values follow PostgreSQL's defaults, scaled so one
+/// sequential page read costs one cost unit = 0.1 simulated ms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Cost of reading one page sequentially.
+    pub seq_page_cost: f64,
+    /// Cost of reading one page at a random location.
+    pub random_page_cost: f64,
+    /// Cost of processing one tuple.
+    pub cpu_tuple_cost: f64,
+    /// Cost of one cheap per-row operation (comparison, hash probe).
+    pub cpu_operator_cost: f64,
+    /// Cost of writing one page (index builds).
+    pub page_write_cost: f64,
+    /// Simulated milliseconds per cost unit.
+    pub ms_per_cost_unit: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_operator_cost: 0.0025,
+            page_write_cost: 2.0,
+            ms_per_cost_unit: 0.1,
+        }
+    }
+}
+
+impl CostParams {
+    /// Cost (in abstract cost units) of the given physical work.
+    pub fn cost_of(&self, io: &IoStats) -> f64 {
+        self.seq_page_cost * io.seq_pages as f64
+            + self.random_page_cost * io.random_pages as f64
+            + self.cpu_tuple_cost * io.tuples as f64
+            + self.cpu_operator_cost * io.cpu_ops as f64
+            + self.page_write_cost * io.pages_written as f64
+    }
+
+    /// Simulated wall-clock milliseconds of the given physical work.
+    pub fn millis_of(&self, io: &IoStats) -> f64 {
+        self.cost_of(io) * self.ms_per_cost_unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_per_page_reasonable() {
+        // 100-byte rows: 8192 / 128 = 64 tuples per page.
+        assert_eq!(tuples_per_page(100), 64);
+        // Gigantic rows still fit one per page.
+        assert_eq!(tuples_per_page(100_000), 1);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0, 100), 0);
+        assert_eq!(pages_for(1, 100), 1);
+        assert_eq!(pages_for(64, 100), 1);
+        assert_eq!(pages_for(65, 100), 2);
+    }
+
+    #[test]
+    fn iostats_addition() {
+        let a = IoStats { seq_pages: 1, random_pages: 2, tuples: 3, pages_written: 4, cpu_ops: 5 };
+        let b = IoStats { seq_pages: 10, random_pages: 20, tuples: 30, pages_written: 40, cpu_ops: 50 };
+        let c = a + b;
+        assert_eq!(c.seq_pages, 11);
+        assert_eq!(c.random_pages, 22);
+        assert_eq!(c.tuples, 33);
+        assert_eq!(c.pages_written, 44);
+        assert_eq!(c.cpu_ops, 55);
+        assert_eq!(c.total_pages(), 11 + 22 + 44);
+    }
+
+    #[test]
+    fn iostats_subtraction_inverts_addition() {
+        let a = IoStats { seq_pages: 1, random_pages: 2, tuples: 3, pages_written: 4, cpu_ops: 5 };
+        let b = IoStats { seq_pages: 10, random_pages: 20, tuples: 30, pages_written: 40, cpu_ops: 50 };
+        assert_eq!((a + b) - a, b);
+    }
+
+    #[test]
+    fn cost_prefers_sequential_access() {
+        let p = CostParams::default();
+        let seq = IoStats { seq_pages: 100, ..Default::default() };
+        let rnd = IoStats { random_pages: 100, ..Default::default() };
+        assert!(p.cost_of(&rnd) > p.cost_of(&seq));
+        assert_eq!(p.cost_of(&rnd), 4.0 * p.cost_of(&seq));
+    }
+
+    #[test]
+    fn millis_scale() {
+        let p = CostParams::default();
+        let io = IoStats { seq_pages: 10, ..Default::default() };
+        assert!((p.millis_of(&io) - 1.0).abs() < 1e-12);
+    }
+}

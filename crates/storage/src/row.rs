@@ -1,0 +1,41 @@
+//! Rows and row identifiers.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a row inside a single heap table: its position in the
+/// heap. Stable because the reproduction's tables are append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// The heap slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A row is a fixed-arity tuple of values; arity matches the table schema.
+pub type Row = Box<[Value]>;
+
+/// Build a row from a vector of values.
+pub fn row_from(values: Vec<Value>) -> Row {
+    values.into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowid_index() {
+        assert_eq!(RowId(7).index(), 7);
+    }
+
+    #[test]
+    fn row_from_preserves_values() {
+        let r = row_from(vec![Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], Value::Int(1));
+    }
+}

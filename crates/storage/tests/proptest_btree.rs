@@ -1,0 +1,142 @@
+//! Property-based tests: the B+ tree must agree with a sorted-vector
+//! reference model for every lookup and range scan, and must keep its
+//! structural invariants under arbitrary insert sequences.
+
+use colt_storage::page::IoStats;
+use colt_storage::row::RowId;
+use colt_storage::value::Value;
+use colt_storage::BPlusTree;
+use proptest::prelude::*;
+use std::ops::Bound;
+
+fn reference_range(model: &[(i64, u32)], lo: Bound<i64>, hi: Bound<i64>) -> Vec<RowId> {
+    let in_lo = |k: i64| match lo {
+        Bound::Included(b) => k >= b,
+        Bound::Excluded(b) => k > b,
+        Bound::Unbounded => true,
+    };
+    let in_hi = |k: i64| match hi {
+        Bound::Included(b) => k <= b,
+        Bound::Excluded(b) => k < b,
+        Bound::Unbounded => true,
+    };
+    let mut out: Vec<(i64, u32)> =
+        model.iter().copied().filter(|&(k, _)| in_lo(k) && in_hi(k)).collect();
+    out.sort_unstable();
+    out.into_iter().map(|(_, r)| RowId(r)).collect()
+}
+
+fn map_bound(b: Bound<i64>) -> Bound<Value> {
+    match b {
+        Bound::Included(k) => Bound::Included(Value::Int(k)),
+        Bound::Excluded(k) => Bound::Excluded(Value::Int(k)),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert arbitrary (key, rowid) pairs; every point lookup agrees
+    /// with the reference model and invariants hold.
+    #[test]
+    fn lookups_match_reference(
+        entries in prop::collection::vec((0i64..200, 0u32..10_000), 0..600),
+        probes in prop::collection::vec(0i64..220, 0..40),
+    ) {
+        // Deduplicate exact pairs: indexes never hold the same
+        // (value, rowid) twice.
+        let mut entries = entries;
+        entries.sort_unstable();
+        entries.dedup();
+
+        let mut tree = BPlusTree::with_order(8);
+        // Insert in a scrambled order to stress splits.
+        let scrambled: Vec<_> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i.wrapping_mul(2654435761) % entries.len().max(1), e))
+            .collect();
+        let mut by_slot = scrambled;
+        by_slot.sort_by_key(|(slot, _)| *slot);
+        for (_, &(k, r)) in by_slot {
+            tree.insert(Value::Int(k), RowId(r));
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), entries.len());
+
+        for p in probes {
+            let mut io = IoStats::new();
+            let mut got = tree.lookup(&Value::Int(p), &mut io);
+            got.sort();
+            let want = reference_range(&entries, Bound::Included(p), Bound::Included(p));
+            prop_assert_eq!(got, want, "probe {}", p);
+        }
+    }
+
+    /// Range scans with arbitrary bound shapes agree with the model.
+    #[test]
+    fn ranges_match_reference(
+        entries in prop::collection::vec((0i64..500, 0u32..100_000), 0..800),
+        lo in 0i64..520,
+        hi in 0i64..520,
+        lo_kind in 0u8..3,
+        hi_kind in 0u8..3,
+    ) {
+        let mut entries = entries;
+        entries.sort_unstable();
+        entries.dedup();
+        let tree = BPlusTree::bulk_load(
+            8,
+            entries.iter().map(|&(k, r)| (Value::Int(k), RowId(r))).collect(),
+        );
+        tree.check_invariants();
+
+        let lo_b = match lo_kind { 0 => Bound::Included(lo), 1 => Bound::Excluded(lo), _ => Bound::Unbounded };
+        let hi_b = match hi_kind { 0 => Bound::Included(hi), 1 => Bound::Excluded(hi), _ => Bound::Unbounded };
+
+        let mut io = IoStats::new();
+        let mut got = tree.range(map_bound(lo_b), map_bound(hi_b), &mut io);
+        got.sort();
+        let mut want = reference_range(&entries, lo_b, hi_b);
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bulk load and incremental insert build equivalent trees.
+    #[test]
+    fn bulk_equals_incremental(
+        entries in prop::collection::vec((0i64..300, 0u32..1_000), 0..500),
+    ) {
+        let mut entries = entries;
+        entries.sort_unstable();
+        entries.dedup();
+        let pairs: Vec<_> = entries.iter().map(|&(k, r)| (Value::Int(k), RowId(r))).collect();
+        let bulk = BPlusTree::bulk_load(8, pairs.clone());
+        let mut incr = BPlusTree::new(8);
+        for (k, r) in pairs {
+            incr.insert(k, r);
+        }
+        bulk.check_invariants();
+        incr.check_invariants();
+        let a: Vec<_> = bulk.iter().map(|(k, r)| (k.clone(), r)).collect();
+        let b: Vec<_> = incr.iter().map(|(k, r)| (k.clone(), r)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// I/O charging is sane: descent cost equals tree height and long
+    /// scans charge at least one page per full leaf traversed.
+    #[test]
+    fn io_charging_bounds(n in 1usize..5000) {
+        let entries: Vec<_> = (0..n).map(|i| (Value::Int(i as i64), RowId(i as u32))).collect();
+        let tree = BPlusTree::bulk_load(8, entries);
+        let mut io = IoStats::new();
+        tree.lookup(&Value::Int((n / 2) as i64), &mut io);
+        prop_assert_eq!(io.random_pages, tree.height() as u64);
+
+        let mut io = IoStats::new();
+        let all = tree.range(Bound::Unbounded, Bound::Unbounded, &mut io);
+        prop_assert_eq!(all.len(), n);
+        prop_assert!(io.seq_pages as usize + 1 >= tree.page_count().saturating_sub(tree.height() * 2));
+    }
+}

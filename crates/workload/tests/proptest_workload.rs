@@ -1,0 +1,184 @@
+//! Property tests for the workload machinery: noise-plan geometry,
+//! histogram quantiles, selectivity-targeted sampling, and workload
+//! assembly invariants.
+
+use colt_catalog::{ColRef, Column, Database, TableId, TableSchema};
+use colt_engine::selectivity::predicate_selectivity;
+use colt_storage::{row_from, Value, ValueType};
+use colt_workload::distribution::quantile;
+use colt_workload::{
+    fixed, phase_boundaries, phased, with_noise, NoisePlan, QueryDistribution, QueryTemplate,
+    SelSpec, TemplateSelection,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn db_with(values: &[i64]) -> (Database, TableId) {
+    let mut db = Database::new();
+    let t = db.add_table(TableSchema::new("t", vec![Column::new("k", ValueType::Int)]));
+    db.insert_rows(t, values.iter().map(|&v| row_from(vec![Value::Int(v)])));
+    db.analyze_all();
+    (db, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Noise-plan geometry for arbitrary burst lengths: ≥500 queries,
+    /// exactly 20% noise, ≥2 non-overlapping bursts after the warm-up.
+    #[test]
+    fn noise_plan_geometry(burst in 1usize..300) {
+        let p = NoisePlan::paper(burst);
+        prop_assert!(p.total >= 500);
+        prop_assert!(p.burst_starts.len() >= 2);
+        prop_assert!((p.noise_fraction() - 0.2).abs() < 1e-9);
+        prop_assert!(p.burst_starts[0] >= p.warmup);
+        for w in p.burst_starts.windows(2) {
+            prop_assert!(w[0] + p.burst_len <= w[1], "bursts overlap");
+        }
+        prop_assert!(p.burst_starts.last().unwrap() + p.burst_len <= p.total);
+        // is_noise must agree with the starts.
+        let marked = (0..p.total).filter(|&i| p.is_noise(i)).count();
+        prop_assert_eq!(marked, p.burst_starts.len() * p.burst_len);
+    }
+
+    /// Histogram quantiles are monotone and bounded by the data range.
+    #[test]
+    fn quantiles_monotone(
+        mut values in prop::collection::vec(-10_000i64..10_000, 32..2000),
+        qs in prop::collection::vec(0.0f64..1.0, 2..10),
+    ) {
+        let (db, t) = db_with(&values);
+        let stats = db.table(t).column_stats(0);
+        values.sort_unstable();
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut last = Value::Int(i64::MIN);
+        for q in qs {
+            let v = quantile(stats, q);
+            prop_assert!(v >= last);
+            prop_assert!(v >= Value::Int(values[0]));
+            prop_assert!(v <= Value::Int(*values.last().unwrap()));
+            last = v;
+        }
+    }
+
+    /// Range templates hit their target selectivity within histogram
+    /// tolerance on uniform data.
+    #[test]
+    fn range_templates_calibrated(
+        n in 2_000usize..20_000,
+        frac in 0.01f64..0.4,
+        seed in 0u64..1_000,
+    ) {
+        let values: Vec<i64> = (0..n as i64).collect();
+        let (db, t) = db_with(&values);
+        let col = ColRef::new(t, 0);
+        let tpl = QueryTemplate::single(
+            t,
+            vec![TemplateSelection { col, spec: SelSpec::RangeFrac { lo_frac: frac, hi_frac: frac } }],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = tpl.sample(&db, &mut rng);
+        // Exact fraction of rows matched.
+        let matched = values
+            .iter()
+            .filter(|&&v| q.selections[0].matches(&Value::Int(v)))
+            .count() as f64
+            / n as f64;
+        prop_assert!(
+            (matched - frac).abs() < 0.08 + frac * 0.5,
+            "target {frac}, matched {matched}"
+        );
+    }
+
+    /// Workload assembly: lengths and well-formedness for arbitrary
+    /// phase shapes.
+    #[test]
+    fn phased_lengths(
+        phases in 1usize..5,
+        phase_len in 1usize..40,
+        transition in 0usize..20,
+        seed in 0u64..100,
+    ) {
+        let values: Vec<i64> = (0..500).collect();
+        let (db, t) = db_with(&values);
+        let col = ColRef::new(t, 0);
+        let dist = |_: usize| {
+            QueryDistribution::new().with(
+                1.0,
+                QueryTemplate::single(t, vec![TemplateSelection { col, spec: SelSpec::Eq }]),
+            )
+        };
+        let dists: Vec<_> = (0..phases).map(dist).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = phased(&dists, phase_len, transition, &db, &mut rng);
+        prop_assert_eq!(w.len(), phases * phase_len + (phases - 1) * transition);
+        for q in &w {
+            prop_assert!(q.validate().is_ok());
+        }
+        let bounds = phase_boundaries(phases, phase_len, transition);
+        prop_assert_eq!(bounds.len(), phases - 1);
+        for (i, b) in bounds.iter().enumerate() {
+            prop_assert_eq!(*b, (i + 1) * phase_len + i * transition);
+        }
+    }
+
+    /// Noise injection places exactly the planned queries.
+    #[test]
+    fn noise_injection_exact(burst in 10usize..120, seed in 0u64..50) {
+        let values: Vec<i64> = (0..200).collect();
+        let (db, t) = db_with(&values);
+        let col = ColRef::new(t, 0);
+        let base = QueryDistribution::new().with(
+            1.0,
+            QueryTemplate::single(t, vec![TemplateSelection { col, spec: SelSpec::Eq }]),
+        );
+        let noise = QueryDistribution::new().with(
+            1.0,
+            QueryTemplate::single(
+                t,
+                vec![TemplateSelection { col, spec: SelSpec::RangeFrac { lo_frac: 0.1, hi_frac: 0.2 } }],
+            ),
+        );
+        let plan = NoisePlan::paper(burst);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = with_noise(&base, &noise, &plan, &db, &mut rng);
+        prop_assert_eq!(w.len(), plan.total);
+        for (i, q) in w.iter().enumerate() {
+            let is_range = matches!(q.selections[0].kind, colt_engine::PredicateKind::Range { .. });
+            prop_assert_eq!(is_range, plan.is_noise(i), "query {}", i);
+        }
+    }
+
+    /// `fixed` is deterministic in (distribution, seed).
+    #[test]
+    fn fixed_deterministic(n in 1usize..100, seed in 0u64..1000) {
+        let values: Vec<i64> = (0..300).collect();
+        let (db, t) = db_with(&values);
+        let col = ColRef::new(t, 0);
+        let dist = QueryDistribution::new().with(
+            1.0,
+            QueryTemplate::single(t, vec![TemplateSelection { col, spec: SelSpec::Eq }]),
+        );
+        let a = fixed(&dist, n, &db, &mut StdRng::seed_from_u64(seed));
+        let b = fixed(&dist, n, &db, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Selectivity bucketing: sampled Eq predicates on a key column are
+    /// always classified selective at the paper's 2% boundary once the
+    /// domain is large enough.
+    #[test]
+    fn eq_on_key_is_selective(n in 200usize..5000) {
+        let values: Vec<i64> = (0..n as i64).collect();
+        let (db, t) = db_with(&values);
+        let col = ColRef::new(t, 0);
+        let tpl = QueryTemplate::single(t, vec![TemplateSelection { col, spec: SelSpec::Eq }]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = tpl.sample(&db, &mut rng);
+        let sel = predicate_selectivity(&db, &q.selections[0]);
+        prop_assert!(sel < 0.02, "eq selectivity {sel}");
+    }
+}

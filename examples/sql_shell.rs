@@ -1,0 +1,114 @@
+//! A tiny interactive SQL shell over the TPC-H×4 data set, with COLT
+//! tuning the physical design behind your back.
+//!
+//! Run with: `cargo run --release --example sql_shell`
+//!
+//! Commands:
+//!   SELECT ...;          run a query (the supported grammar is in
+//!                        `colt_engine::sql`)
+//!   \d                   list tables
+//!   \indexes             show the indices COLT has materialized
+//!   \trace               show the tuner's epoch trace
+//!   \q                   quit
+//!
+//! Piped input works too:
+//!   echo "SELECT COUNT(*) FROM lineitem0" | cargo run --example sql_shell
+
+use colt_repro::engine::{parse_sql, Executor};
+use colt_repro::prelude::*;
+use std::io::{BufRead, Write as _};
+
+fn main() {
+    eprintln!("loading TPC-H x4 (scale 0.01)...");
+    let data = generate(0.01, 42);
+    let db = &data.db;
+    let mut physical = PhysicalConfig::new();
+    let mut tuner =
+        ColtTuner::new(ColtConfig { storage_budget_pages: 4_000, ..Default::default() });
+    let mut eqo = Eqo::new(db);
+    eprintln!("{} tables, {} tuples. Try: SELECT COUNT(*) FROM lineitem0 WHERE l_shipdate BETWEEN 100 AND 130", db.table_count(), db.total_tuples());
+
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("colt> ");
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim().trim_end_matches(';').trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\q" => break,
+            "\\d" => {
+                for t in db.tables() {
+                    println!("  {} ({} rows, {} columns)", t.schema.name, t.heap.row_count(), t.schema.arity());
+                }
+                continue;
+            }
+            "\\indexes" => {
+                let cols: Vec<String> = physical
+                    .online_columns()
+                    .map(|c| {
+                        let t = db.table(c.table);
+                        format!("{}.{}", t.schema.name, t.schema.columns[c.column as usize].name)
+                    })
+                    .collect();
+                println!("  materialized by COLT: {cols:?} ({} pages used)", physical.online_pages());
+                continue;
+            }
+            "\\trace" => {
+                for e in &tuner.trace().epochs {
+                    println!(
+                        "  epoch {:>3}: what-if {:>2}/{:<2} next {:>2} built {} dropped {}",
+                        e.epoch, e.whatif_used, e.whatif_limit, e.next_budget,
+                        e.created.len(), e.dropped.len()
+                    );
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        let parsed = match parse_sql(db, line) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("  {e}");
+                continue;
+            }
+        };
+        let plan = eqo.optimize(&parsed.query, &physical);
+        println!("{}", plan.explain().trim_end().lines().map(|l| format!("  | {l}")).collect::<Vec<_>>().join("\n"));
+        let exec = Executor::new(db, &physical);
+        let (result, rows) = match &parsed.agg {
+            Some(spec) => exec.execute_aggregate(&parsed.query, &plan, spec),
+            None => exec.execute_collect(&parsed.query, &plan),
+        };
+        for r in rows.iter().take(10) {
+            println!("  {}", r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" | "));
+        }
+        if rows.len() > 10 {
+            println!("  ... ({} rows total)", rows.len());
+        }
+        println!("  [{} rows, {:.2} simulated ms]", result.row_count, result.millis);
+
+        let step = tuner.on_query(db, &mut physical, &mut eqo, &parsed.query, &plan);
+        for c in &step.created {
+            let t = db.table(c.table);
+            println!(
+                "  ** COLT materialized an index on {}.{}",
+                t.schema.name, t.schema.columns[c.column as usize].name
+            );
+        }
+        for c in &step.dropped {
+            let t = db.table(c.table);
+            println!(
+                "  ** COLT dropped the index on {}.{}",
+                t.schema.name, t.schema.columns[c.column as usize].name
+            );
+        }
+    }
+}
