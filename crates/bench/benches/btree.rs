@@ -1,77 +1,63 @@
 //! Micro-benchmarks of the B+ tree substrate: bulk loads, incremental
 //! inserts, point lookups, and range scans across tree sizes.
 
+use colt_bench::bench;
 use colt_storage::{BPlusTree, IoStats, RowId, Value};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 use std::ops::Bound;
 
 fn entries(n: usize) -> Vec<(Value, RowId)> {
     (0..n).map(|i| (Value::Int(i as i64), RowId(i as u32))).collect()
 }
 
-fn bench_bulk_load(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btree/bulk_load");
-    for &n in &[1_000usize, 10_000, 100_000] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let data = entries(n);
-            b.iter(|| BPlusTree::bulk_load(8, black_box(data.clone())));
+fn bench_bulk_load() {
+    for n in [1_000usize, 10_000, 100_000] {
+        let data = entries(n);
+        bench(&format!("btree/bulk_load/{n}"), || {
+            black_box(BPlusTree::bulk_load(8, black_box(data.clone())));
         });
     }
-    g.finish();
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btree/insert");
-    for &n in &[1_000usize, 10_000] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut t = BPlusTree::new(8);
-                // Scrambled order stresses splits.
-                for i in 0..n {
-                    let k = (i.wrapping_mul(2654435761)) % n;
-                    t.insert(Value::Int(k as i64), RowId(i as u32));
-                }
-                t
-            });
+fn bench_insert() {
+    for n in [1_000usize, 10_000] {
+        bench(&format!("btree/insert/{n}"), || {
+            let mut t = BPlusTree::new(8);
+            // Scrambled order stresses splits.
+            for i in 0..n {
+                let k = (i.wrapping_mul(2654435761)) % n;
+                t.insert(Value::Int(k as i64), RowId(i as u32));
+            }
+            black_box(t);
         });
     }
-    g.finish();
 }
 
-fn bench_lookup(c: &mut Criterion) {
+fn bench_lookup() {
     let tree = BPlusTree::bulk_load(8, entries(100_000));
-    c.bench_function("btree/lookup/100k", |b| {
-        let mut i = 0i64;
-        b.iter(|| {
-            i = (i * 75 + 74) % 65_537;
-            let mut io = IoStats::new();
-            black_box(tree.lookup(&Value::Int(i % 100_000), &mut io))
-        });
+    let mut i = 0i64;
+    bench("btree/lookup/100k", || {
+        i = (i * 75 + 74) % 65_537;
+        let mut io = IoStats::new();
+        black_box(tree.lookup(&Value::Int(i % 100_000), &mut io));
     });
 }
 
-fn bench_range(c: &mut Criterion) {
+fn bench_range() {
     let tree = BPlusTree::bulk_load(8, entries(100_000));
-    let mut g = c.benchmark_group("btree/range");
-    for &width in &[100i64, 1_000, 10_000] {
-        g.throughput(Throughput::Elements(width as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
-            b.iter(|| {
-                let mut io = IoStats::new();
-                black_box(tree.range(
-                    Bound::Included(Value::Int(5_000)),
-                    Bound::Excluded(Value::Int(5_000 + w)),
-                    &mut io,
-                ))
-            });
+    for width in [100i64, 1_000, 10_000] {
+        bench(&format!("btree/range/{width}"), || {
+            let mut io = IoStats::new();
+            black_box(tree.range(
+                Bound::Included(Value::Int(5_000)),
+                Bound::Excluded(Value::Int(5_000 + width)),
+                &mut io,
+            ));
         });
     }
-    g.finish();
 }
 
-fn bench_composite(c: &mut Criterion) {
+fn bench_composite() {
     use colt_storage::CompositeBPlusTree;
     let entries: Vec<(Vec<Value>, RowId)> = (0..100_000)
         .map(|i| (vec![Value::Int(i % 100), Value::Int(i / 100)], RowId(i as u32)))
@@ -80,36 +66,38 @@ fn bench_composite(c: &mut Criterion) {
     sorted.sort();
     let tree = CompositeBPlusTree::bulk_load(16, sorted);
 
-    c.bench_function("btree/composite_lookup/100k", |b| {
-        let mut i = 0i64;
-        b.iter(|| {
-            i = (i * 75 + 74) % 65_537;
-            let mut io = IoStats::new();
-            black_box(tree.lookup(&vec![Value::Int(i % 100), Value::Int(i % 1000)], &mut io))
-        });
+    let mut i = 0i64;
+    bench("btree/composite_lookup/100k", || {
+        i = (i * 75 + 74) % 65_537;
+        let mut io = IoStats::new();
+        black_box(tree.lookup(&vec![Value::Int(i % 100), Value::Int(i % 1000)], &mut io));
     });
 
-    c.bench_function("btree/composite_prefix_scan/100k", |b| {
+    let mut j = 0i64;
+    bench("btree/composite_prefix_scan/100k", || {
         use colt_storage::ScanControl;
-        let mut i = 0i64;
-        b.iter(|| {
-            i = (i * 75 + 74) % 97;
-            let prefix = vec![Value::Int(i)];
-            let mut io = IoStats::new();
-            black_box(tree.scan_from(
-                Bound::Included(prefix.clone()),
-                |k: &Vec<Value>| {
-                    if k.starts_with(&prefix) {
-                        ScanControl::Take
-                    } else {
-                        ScanControl::Stop
-                    }
-                },
-                &mut io,
-            ))
-        });
+        j = (j * 75 + 74) % 97;
+        let prefix = vec![Value::Int(j)];
+        let mut io = IoStats::new();
+        black_box(tree.scan_from(
+            Bound::Included(prefix.clone()),
+            |k: &Vec<Value>| {
+                if k.starts_with(&prefix) {
+                    ScanControl::Take
+                } else {
+                    ScanControl::Stop
+                }
+            },
+            &mut io,
+        ));
     });
 }
 
-criterion_group!(benches, bench_bulk_load, bench_insert, bench_lookup, bench_range, bench_composite);
-criterion_main!(benches);
+fn main() {
+    println!("# btree micro-benchmarks");
+    bench_bulk_load();
+    bench_insert();
+    bench_lookup();
+    bench_range();
+    bench_composite();
+}

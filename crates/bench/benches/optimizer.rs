@@ -1,12 +1,13 @@
 //! Micro-benchmarks of the optimizer and the what-if interface —
 //! the cost that COLT's profiling budget is denominated in.
 
+use colt_bench::bench;
 use colt_catalog::{ColRef, PhysicalConfig};
 use colt_engine::{Eqo, IndexSetView, Optimizer, Query, SelPred};
 use colt_workload::generate;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_optimize(c: &mut Criterion) {
+fn bench_optimize() {
     let data = generate(0.01, 42);
     let db = &data.db;
     let inst = &data.instances[0];
@@ -21,8 +22,8 @@ fn bench_optimize(c: &mut Criterion) {
             colt_storage::Value::Date(130),
         )],
     );
-    c.bench_function("optimizer/single_table", |b| {
-        b.iter(|| black_box(opt.optimize(&single, IndexSetView::real(&cfg))))
+    bench("optimizer/single_table", || {
+        black_box(opt.optimize(&single, IndexSetView::real(&cfg)));
     });
 
     let join = Query::join(
@@ -39,12 +40,12 @@ fn bench_optimize(c: &mut Criterion) {
         ],
         vec![SelPred::eq(inst.col(db, "customer", "c_mktsegment"), 2i64)],
     );
-    c.bench_function("optimizer/three_table_join", |b| {
-        b.iter(|| black_box(opt.optimize(&join, IndexSetView::real(&cfg))))
+    bench("optimizer/three_table_join", || {
+        black_box(opt.optimize(&join, IndexSetView::real(&cfg)));
     });
 }
 
-fn bench_whatif(c: &mut Criterion) {
+fn bench_whatif() {
     let data = generate(0.01, 42);
     let db = &data.db;
     let inst = &data.instances[0];
@@ -60,13 +61,13 @@ fn bench_whatif(c: &mut Criterion) {
     let probes: Vec<ColRef> =
         vec![inst.col(db, "lineitem", "l_partkey"), inst.col(db, "lineitem", "l_quantity")];
 
-    c.bench_function("whatif/two_probes", |b| {
-        let mut eqo = Eqo::new(db);
-        b.iter(|| black_box(eqo.what_if_optimize(&q, &probes, &cfg)))
+    let mut eqo = Eqo::new(db);
+    bench("whatif/two_probes", || {
+        black_box(eqo.what_if_optimize(&q, &probes, &cfg));
     });
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor() {
     use colt_catalog::IndexOrigin;
     use colt_engine::Executor;
     let data = generate(0.01, 42);
@@ -78,18 +79,22 @@ fn bench_executor(c: &mut Criterion) {
     let bare = PhysicalConfig::new();
     let opt = Optimizer::new(db);
     let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
-    c.bench_function("executor/seq_scan_lineitem", |b| {
-        b.iter(|| black_box(Executor::new(db, &bare).execute(&q, &seq_plan)))
+    bench("executor/seq_scan_lineitem", || {
+        black_box(Executor::new(db, &bare).execute(&q, &seq_plan));
     });
 
     let mut indexed = PhysicalConfig::new();
     indexed.create_index(db, col, IndexOrigin::Online);
     let idx_plan = opt.optimize(&q, IndexSetView::real(&indexed));
     assert!(!idx_plan.used_indices().is_empty());
-    c.bench_function("executor/index_scan_lineitem", |b| {
-        b.iter(|| black_box(Executor::new(db, &indexed).execute(&q, &idx_plan)))
+    bench("executor/index_scan_lineitem", || {
+        black_box(Executor::new(db, &indexed).execute(&q, &idx_plan));
     });
 }
 
-criterion_group!(benches, bench_optimize, bench_whatif, bench_executor);
-criterion_main!(benches);
+fn main() {
+    println!("# optimizer micro-benchmarks");
+    bench_optimize();
+    bench_whatif();
+    bench_executor();
+}

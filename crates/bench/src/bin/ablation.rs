@@ -13,10 +13,13 @@
 //! * **eager forecast window** (h=4) and **sluggish window** (h=24) —
 //!   sensitivity of adaptation speed and noise resilience to the
 //!   memory depth.
+//!
+//! Every variant is an independent run cell; the whole grid fans across
+//! the parallel harness.
 
-use colt_bench::{build_data, fmt_ms, seed};
-use colt_core::ColtConfig;
-use colt_harness::{run_colt, run_offline};
+use colt_bench::{build_data, fmt_ms, seed, threads};
+use colt_core::{ColtConfig, MaterializationStrategy};
+use colt_harness::{render_parallel_summary, run_cells, Cell, Policy};
 use colt_workload::presets;
 
 fn variants(base: &ColtConfig) -> Vec<(&'static str, ColtConfig)> {
@@ -36,19 +39,33 @@ fn run_table(
 ) {
     let base = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
     println!("# Ablation — {title} ({} queries)", preset.queries.len());
-    let offline = run_offline(&data.db, &preset.queries, &preset.queries, preset.budget_pages);
+    let mut cells = vec![Cell::new(
+        "OFFLINE",
+        &data.db,
+        &preset.queries,
+        Policy::Offline { budget_pages: preset.budget_pages },
+    )];
+    cells.extend(
+        variants(&base)
+            .into_iter()
+            .map(|(name, cfg)| Cell::new(name, &data.db, &preset.queries, Policy::colt(cfg))),
+    );
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary(&format!("Ablation cells — {title}"), &report));
+
+    let offline = &report.cells[0].result;
     println!("  OFFLINE reference: {}", fmt_ms(offline.total_millis()));
     println!();
     println!(
         "  {:<20} {:>12} {:>10} {:>9} {:>7} {:>7}",
         "variant", "total", "vs OFFLINE", "#what-if", "builds", "drops"
     );
-    for (name, cfg) in variants(&base) {
-        let run = run_colt(&data.db, &preset.queries, cfg);
+    for cell in &report.cells[1..] {
+        let run = &cell.result;
         let drops: usize = run.trace.epochs.iter().map(|e| e.dropped.len()).sum();
         println!(
             "  {:<20} {:>12} {:>9.1}% {:>9} {:>7} {:>7}",
-            name,
+            cell.label,
             fmt_ms(run.total_millis()),
             (run.total_millis() / offline.total_millis() - 1.0) * 100.0,
             run.trace.total_whatif(),
@@ -60,22 +77,28 @@ fn run_table(
 }
 
 fn scheduler_table(data: &colt_workload::TpchData, preset: &colt_workload::Preset) {
-    use colt_core::MaterializationStrategy as S;
-    use colt_harness::run_colt_with_strategy;
+    use MaterializationStrategy as S;
     let base = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
     println!("# Scheduler strategies — stable workload ({} queries)", preset.queries.len());
     println!(
         "  {:<12} {:>12} {:>16} {:>10}",
         "strategy", "total", "charged builds", "final idx"
     );
-    for (name, strat) in
+    let cells: Vec<Cell<'_>> =
         [("immediate", S::Immediate), ("idle-time", S::IdleTime), ("piggyback", S::Piggyback)]
-    {
-        let run = run_colt_with_strategy(&data.db, &preset.queries, base.clone(), strat);
+            .into_iter()
+            .map(|(name, strat)| {
+                Cell::new(name, &data.db, &preset.queries, Policy::Colt(base.clone(), strat))
+            })
+            .collect();
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Scheduler cells", &report));
+    for cell in &report.cells {
+        let run = &cell.result;
         let build_ms: f64 = run.samples.iter().map(|s| s.tuning_millis).sum();
         println!(
             "  {:<12} {:>12} {:>13.0} ms {:>10}",
-            name,
+            cell.label,
             fmt_ms(run.total_millis()),
             build_ms,
             run.final_indices.len(),

@@ -8,12 +8,11 @@
 //! extension mines the co-occurrence on-line and materializes the
 //! two-column index.
 
-use colt_bench::{build_data, fmt_ms, seed};
+use colt_bench::{build_data, fmt_ms, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{run_colt, run_none};
+use colt_harness::{render_parallel_summary, run_cells, Cell, Policy};
+use colt_storage::Prng;
 use colt_workload::{fixed, QueryDistribution, QueryTemplate, SelSpec, TemplateSelection};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let data = build_data();
@@ -30,28 +29,37 @@ fn main() {
             ],
         ),
     );
-    let mut rng = StdRng::seed_from_u64(seed());
+    let mut rng = Prng::new(seed());
     let workload = fixed(&dist, 400, db, &mut rng);
 
     println!("# Extension — on-line multi-column tuning");
     println!("  workload: 400 lineitem queries pairing l_suppkey = x AND l_quantity = y");
     println!();
 
-    let none = run_none(db, &workload);
-    let plain = run_colt(
-        db,
-        &workload,
-        ColtConfig { storage_budget_pages: 4_096, ..Default::default() },
-    );
-    let extended = run_colt(
-        db,
-        &workload,
-        ColtConfig {
-            storage_budget_pages: 4_096,
-            composite_budget_pages: 4_096,
-            ..Default::default()
-        },
-    );
+    let cells = [
+        Cell::new("no tuning", db, &workload, Policy::None),
+        Cell::new(
+            "COLT single-column",
+            db,
+            &workload,
+            Policy::colt(ColtConfig { storage_budget_pages: 4_096, ..Default::default() }),
+        ),
+        Cell::new(
+            "COLT composite",
+            db,
+            &workload,
+            Policy::colt(ColtConfig {
+                storage_budget_pages: 4_096,
+                composite_budget_pages: 4_096,
+                ..Default::default()
+            }),
+        ),
+    ];
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Composite cells", &report));
+    let none = report.get("no tuning").expect("baseline cell");
+    let plain = report.get("COLT single-column").expect("plain cell");
+    let extended = report.get("COLT composite").expect("extended cell");
 
     println!("  no tuning:            {:>10}", fmt_ms(none.total_millis()));
     println!(

@@ -8,9 +8,11 @@
 //! * afterwards COLT's execution time is essentially equal to the ideal
 //!   OFFLINE technique (the paper reports a ~1% deviation).
 
-use colt_bench::{build_data, fmt_ms, seed};
+use colt_bench::{build_data, fmt_ms, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{bucket_rows, render_buckets, run_colt, run_offline};
+use colt_harness::{
+    bucket_rows, render_buckets, render_parallel_summary, run_cells, Cell, Policy,
+};
 use colt_workload::presets;
 
 fn main() {
@@ -23,14 +25,26 @@ fn main() {
         preset.budget_pages
     );
 
-    let offline = run_offline(&data.db, &preset.queries, &preset.queries, preset.budget_pages);
-    let colt = run_colt(
-        &data.db,
-        &preset.queries,
-        ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() },
-    );
+    let cells = [
+        Cell::new(
+            "OFFLINE",
+            &data.db,
+            &preset.queries,
+            Policy::Offline { budget_pages: preset.budget_pages },
+        ),
+        Cell::new(
+            "COLT",
+            &data.db,
+            &preset.queries,
+            Policy::colt(ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() }),
+        ),
+    ];
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Figure 3 cells", &report));
+    let offline = report.get("OFFLINE").expect("offline cell");
+    let colt = report.get("COLT").expect("colt cell");
 
-    let rows = bucket_rows(&colt, &offline, 50);
+    let rows = bucket_rows(colt, offline, 50);
     println!("{}", render_buckets("Execution time per 50-query bucket", &rows));
 
     // Convergence metrics (paper: ≤ ~1% deviation after query 100).
@@ -57,7 +71,7 @@ fn main() {
         colt.final_indices.len(),
     );
     println!("  index builds by COLT: {}", colt.trace.total_builds());
-    match colt_harness::convergence_point(&colt, &offline, 20, 0.10) {
+    match colt_harness::convergence_point(colt, offline, 20, 0.10) {
         Some(p) => println!(
             "  convergence: within 10% of OFFLINE from query ~{p} onward (paper: ~100)"
         ),
@@ -65,6 +79,8 @@ fn main() {
     }
     println!(
         "  mean what-if budget utilization: {:.1}%",
-        100.0 * colt_harness::budget_utilization(&colt, 20)
+        100.0 * colt_harness::budget_utilization(colt, 20)
     );
+    println!("## Summary (COLT)");
+    println!("{}", colt.summary_json());
 }

@@ -8,9 +8,11 @@
 //! * in phase 2 (queries 350–650) COLT is ~49% faster;
 //! * over the whole workload COLT is ~33% faster.
 
-use colt_bench::{build_data, fmt_ms, seed};
+use colt_bench::{build_data, fmt_ms, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{bucket_rows, render_buckets, run_colt, run_offline};
+use colt_harness::{
+    bucket_rows, render_buckets, render_parallel_summary, run_cells, Cell, Policy,
+};
 use colt_workload::presets;
 
 fn main() {
@@ -23,14 +25,26 @@ fn main() {
         preset.budget_pages
     );
 
-    let offline = run_offline(&data.db, &preset.queries, &preset.queries, preset.budget_pages);
-    let colt = run_colt(
-        &data.db,
-        &preset.queries,
-        ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() },
-    );
+    let cells = [
+        Cell::new(
+            "OFFLINE",
+            &data.db,
+            &preset.queries,
+            Policy::Offline { budget_pages: preset.budget_pages },
+        ),
+        Cell::new(
+            "COLT",
+            &data.db,
+            &preset.queries,
+            Policy::colt(ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() }),
+        ),
+    ];
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Figure 4 cells", &report));
+    let offline = report.get("OFFLINE").expect("offline cell");
+    let colt = report.get("COLT").expect("colt cell");
 
-    let rows = bucket_rows(&colt, &offline, 50);
+    let rows = bucket_rows(colt, offline, 50);
     println!("{}", render_buckets("Execution time per 50-query bucket", &rows));
 
     println!("## Phase breakdown (paper: phase 2 ≈ 49% shorter, overall ≈ 33% shorter)");
@@ -60,7 +74,7 @@ fn main() {
     let bounds = colt_workload::phase_boundaries(4, 300, 50);
     for (i, &shift) in bounds.iter().enumerate() {
         let until = bounds.get(i + 1).copied().unwrap_or(preset.queries.len());
-        match colt_harness::adaptation_latency(&colt, shift, until, 20, 0.15) {
+        match colt_harness::adaptation_latency(colt, shift, until, 20, 0.15) {
             Some(lat) => println!(
                 "  after transition {} (query {shift}): settled within ~{lat} queries",
                 i + 1

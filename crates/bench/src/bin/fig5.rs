@@ -8,21 +8,50 @@
 //! * outside the peaks COLT uses less than half its budget (20 calls
 //!   per 10-query epoch);
 //! * only ~11% of the relevant indices are ever profiled accurately.
+//!
+//! The primary run is replicated across extra workload seeds to check
+//! that the self-regulation shape is not a seed artifact; the replicas
+//! run as parallel cells (`COLT_THREADS`). Everything printed to stdout
+//! derives from run *results*, which are bit-identical at any thread
+//! count; wall-clock and speedup go to stderr.
 
-use colt_bench::{build_data, seed};
+use colt_bench::{build_data, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{render_whatif_series, run_colt};
+use colt_harness::{render_parallel_summary, render_whatif_series, run_cells, Cell, Policy};
 use colt_workload::{phase_boundaries, presets};
+
+/// Replicated workload seeds: the primary plus three more.
+const REPLICAS: u64 = 4;
 
 fn main() {
     let data = build_data();
-    let preset = presets::shifting(&data, seed());
-    let colt_cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
+    let presets: Vec<_> =
+        (0..REPLICAS).map(|i| presets::shifting(&data, seed().wrapping_add(i))).collect();
+    let colt_cfg =
+        ColtConfig { storage_budget_pages: presets[0].budget_pages, ..Default::default() };
     let epoch_len = colt_cfg.epoch_length;
     let max_budget = colt_cfg.max_whatif_per_epoch;
 
     println!("# Figure 5 — What-if calls per epoch (shifting workload)");
-    let colt = run_colt(&data.db, &preset.queries, colt_cfg);
+    let cells: Vec<Cell<'_>> = presets
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            Cell::new(
+                format!("COLT seed={}", seed().wrapping_add(i as u64)),
+                &data.db,
+                &p.queries,
+                Policy::colt(ColtConfig {
+                    storage_budget_pages: p.budget_pages,
+                    ..colt_cfg.clone()
+                }),
+            )
+        })
+        .collect();
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Figure 5 cells", &report));
+
+    let colt = &report.cells[0].result;
     let series = colt.trace.whatif_per_epoch();
     println!("{}", render_whatif_series("#What-if calls per epoch", &series, max_budget));
 
@@ -64,7 +93,7 @@ fn main() {
     // The paper's denominator is the workload's relevant indices in the
     // broad sense: every indexable attribute of every referenced table.
     let referenced: std::collections::BTreeSet<_> =
-        preset.queries.iter().flat_map(|q| q.tables.iter().copied()).collect();
+        presets[0].queries.iter().flat_map(|q| q.tables.iter().copied()).collect();
     let attrs: usize = referenced.iter().map(|&t| data.db.table(t).schema.arity()).sum();
     println!(
         "  accurately profiled indices: {} of {} indexable attributes on referenced tables = {:.0}% (paper: ~11%)",
@@ -73,4 +102,24 @@ fn main() {
         100.0 * colt.profiled_indices as f64 / attrs as f64
     );
     println!("  total what-if calls: {} over {total_epochs} epochs", colt.trace.total_whatif());
+
+    // Seed replicas: the self-regulation shape must hold for each.
+    println!("## Seed replicas (stable-epoch budget use, paper: < half budget)");
+    for cell in &report.cells {
+        let s = cell.result.trace.whatif_per_epoch();
+        let stable: Vec<u64> = s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| transition_epochs.iter().all(|&te| (*i as i64 - te as i64).abs() > 8))
+            .map(|(_, &v)| v)
+            .collect();
+        let m = stable.iter().sum::<u64>() as f64 / stable.len().max(1) as f64;
+        println!(
+            "  {:<16} total what-if {:>5}, mean stable epoch {m:.2}/{max_budget}",
+            cell.label,
+            cell.result.trace.total_whatif()
+        );
+    }
+    println!("## Summary (primary seed)");
+    println!("{}", colt.summary_json());
 }

@@ -12,11 +12,16 @@
 //! * a worst-case band at 30–60 queries (≈ the forecast window) where
 //!   COLT materializes indices that stop being useful → average ~18%
 //!   loss.
+//!
+//! Each burst duration contributes two independent run cells (OFFLINE
+//! and COLT), all fanned across the parallel harness.
 
-use colt_bench::{build_data, seed};
+use colt_bench::{build_data, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{run_colt, run_offline, time_ratio};
+use colt_harness::{render_parallel_summary, run_cells, time_ratio, Cell, Policy};
 use colt_workload::presets;
+
+const BURSTS: [usize; 12] = [20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 140];
 
 fn main() {
     let data = build_data();
@@ -24,25 +29,53 @@ fn main() {
     println!();
     println!("  burst  total  bursts  ratio   bar (1.0 = parity)");
 
+    let setups: Vec<_> = BURSTS
+        .iter()
+        .map(|&burst| {
+            let (preset, plan) = presets::noisy(&data, burst, seed());
+            // OFFLINE tunes on Q1 alone, then runs the full noisy stream.
+            let q1_only: Vec<_> = preset
+                .queries
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !plan.is_noise(*i))
+                .map(|(_, q)| q.clone())
+                .collect();
+            (burst, preset, plan, q1_only)
+        })
+        .collect();
+    let cells: Vec<Cell<'_>> = setups
+        .iter()
+        .flat_map(|(burst, preset, _, q1_only)| {
+            [
+                Cell::new(
+                    format!("OFFLINE burst={burst}"),
+                    &data.db,
+                    &preset.queries,
+                    Policy::Offline { budget_pages: preset.budget_pages },
+                )
+                .analyzed(q1_only),
+                Cell::new(
+                    format!("COLT burst={burst}"),
+                    &data.db,
+                    &preset.queries,
+                    Policy::colt(ColtConfig {
+                        storage_budget_pages: preset.budget_pages,
+                        ..Default::default()
+                    }),
+                ),
+            ]
+        })
+        .collect();
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Figure 6 cells", &report));
+
     let mut ratios = Vec::new();
-    for burst in [20usize, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 140] {
-        let (preset, plan) = presets::noisy(&data, burst, seed());
-        let q1_only: Vec<_> = preset
-            .queries
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !plan.is_noise(*i))
-            .map(|(_, q)| q.clone())
-            .collect();
-        // OFFLINE tunes on Q1 alone, then runs the full noisy stream.
-        let offline = run_offline(&data.db, &preset.queries, &q1_only, preset.budget_pages);
-        let colt = run_colt(
-            &data.db,
-            &preset.queries,
-            ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() },
-        );
-        let ratio = time_ratio(&colt, &offline, plan.warmup);
-        ratios.push((burst, ratio));
+    for (i, (burst, _, plan, _)) in setups.iter().enumerate() {
+        let offline = &report.cells[2 * i].result;
+        let colt = &report.cells[2 * i + 1].result;
+        let ratio = time_ratio(colt, offline, plan.warmup);
+        ratios.push((*burst, ratio));
         let bar_len = (ratio * 40.0).round() as usize;
         println!(
             "  {burst:>5}  {:>5}  {:>6}  {ratio:>5.3}  {}|",

@@ -3,11 +3,17 @@
 //! relative table sizes and selectivities (DESIGN.md §2's substitution
 //! argument). Runs the stable and shifting experiments at three scales
 //! and reports the headline metrics side by side.
+//!
+//! The grid is 3 scales × (stable, shifting) × (OFFLINE, COLT) = 12 run
+//! cells, all independent: each borrows its own scale's database and
+//! fans across the parallel harness.
 
-use colt_bench::{fmt_ms, seed};
+use colt_bench::{fmt_ms, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{convergence_point, run_colt, run_offline};
+use colt_harness::{convergence_point, render_parallel_summary, run_cells, Cell, Policy};
 use colt_workload::{generate, presets};
+
+const SCALES: [f64; 3] = [0.01, 0.025, 0.05];
 
 fn main() {
     println!("# Scale invariance of the headline results");
@@ -16,32 +22,58 @@ fn main() {
         "  {:<7} {:>10} | {:>12} {:>12} | {:>12} {:>12}",
         "scale", "tuples", "f3 tail dev", "f3 converge", "f4 overall", "f4 phase-best"
     );
-    for scale in [0.01f64, 0.025, 0.05] {
-        let data = generate(scale, seed());
+
+    // Build all data sets and presets first so the cells can borrow them.
+    let setups: Vec<_> = SCALES
+        .iter()
+        .map(|&scale| {
+            let data = generate(scale, seed());
+            let stable = presets::stable(&data, seed());
+            let shifting = presets::shifting(&data, seed());
+            (scale, data, stable, shifting)
+        })
+        .collect();
+    let cells: Vec<Cell<'_>> = setups
+        .iter()
+        .flat_map(|(scale, data, stable, shifting)| {
+            [(stable, "f3"), (shifting, "f4")].into_iter().flat_map(move |(preset, fig)| {
+                [
+                    Cell::new(
+                        format!("OFFLINE {fig} scale={scale}"),
+                        &data.db,
+                        &preset.queries,
+                        Policy::Offline { budget_pages: preset.budget_pages },
+                    ),
+                    Cell::new(
+                        format!("COLT {fig} scale={scale}"),
+                        &data.db,
+                        &preset.queries,
+                        Policy::colt(ColtConfig {
+                            storage_budget_pages: preset.budget_pages,
+                            ..Default::default()
+                        }),
+                    ),
+                ]
+            })
+        })
+        .collect();
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Scaling cells", &report));
+
+    for (i, (scale, data, stable, _)) in setups.iter().enumerate() {
+        let off3 = &report.cells[4 * i].result;
+        let colt3 = &report.cells[4 * i + 1].result;
+        let off4 = &report.cells[4 * i + 2].result;
+        let colt4 = &report.cells[4 * i + 3].result;
 
         // Figure 3 metrics.
-        let stable = presets::stable(&data, seed());
-        let off3 = run_offline(&data.db, &stable.queries, &stable.queries, stable.budget_pages);
-        let colt3 = run_colt(
-            &data.db,
-            &stable.queries,
-            ColtConfig { storage_budget_pages: stable.budget_pages, ..Default::default() },
-        );
         let tail = 100..stable.queries.len();
         let dev = (colt3.range_millis(tail.clone()) / off3.range_millis(tail) - 1.0) * 100.0;
-        let conv = convergence_point(&colt3, &off3, 20, 0.10)
+        let conv = convergence_point(colt3, off3, 20, 0.10)
             .map(|p| format!("q{p}"))
             .unwrap_or_else(|| "—".into());
 
         // Figure 4 metrics.
-        let shifting = presets::shifting(&data, seed());
-        let off4 =
-            run_offline(&data.db, &shifting.queries, &shifting.queries, shifting.budget_pages);
-        let colt4 = run_colt(
-            &data.db,
-            &shifting.queries,
-            ColtConfig { storage_budget_pages: shifting.budget_pages, ..Default::default() },
-        );
         let overall = (1.0 - colt4.total_millis() / off4.total_millis()) * 100.0;
         let best = [350..650, 700..1000, 1050..1350]
             .into_iter()

@@ -7,15 +7,13 @@
 //! the right path *per constant*, and COLT's measured gains stay
 //! calibrated — the tuner still converges to the off-line optimum.
 
-use colt_bench::{fmt_ms, seed};
+use colt_bench::{fmt_ms, seed, threads};
 use colt_catalog::{ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableSchema};
 use colt_core::ColtConfig;
 use colt_engine::{Executor, IndexSetView, Optimizer, Query, SelPred};
-use colt_harness::{run_colt, run_offline};
-use colt_storage::{row_from, Value, ValueType};
+use colt_harness::{render_parallel_summary, run_cells, Cell, Policy};
+use colt_storage::{row_from, Prng, Value, ValueType};
 use colt_workload::gen::ColumnGen;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // 60k-row table; `kind` is Zipf(1.0) over 500 distinct values.
@@ -25,7 +23,7 @@ fn main() {
         vec![Column::new("id", ValueType::Int), Column::new("kind", ValueType::Int)],
     ));
     let zipf = ColumnGen::Zipf { n: 500, s: 1.0 };
-    let mut rng = StdRng::seed_from_u64(seed());
+    let mut rng = Prng::new(seed());
     db.insert_rows(
         t,
         (0..60_000u64).map(|i| row_from(vec![Value::Int(i as i64), zipf.generate(i, 60_000, &mut rng)])),
@@ -66,8 +64,19 @@ fn main() {
         })
         .collect();
     let budget = db.index_estimate(kind).pages + 16;
-    let offline = run_offline(&db, &workload, &workload, budget);
-    let colt = run_colt(&db, &workload, ColtConfig { storage_budget_pages: budget, ..Default::default() });
+    let cells = [
+        Cell::new("OFFLINE", &db, &workload, Policy::Offline { budget_pages: budget }),
+        Cell::new(
+            "COLT",
+            &db,
+            &workload,
+            Policy::colt(ColtConfig { storage_budget_pages: budget, ..Default::default() }),
+        ),
+    ];
+    let report = run_cells(&cells, threads());
+    eprintln!("{}", render_parallel_summary("Skew cells", &report));
+    let offline = report.get("OFFLINE").expect("offline cell");
+    let colt = report.get("COLT").expect("colt cell");
     println!();
     println!("  COLT vs OFFLINE on 400 Zipf-sampled equality queries:");
     println!("    OFFLINE {:>10}", fmt_ms(offline.total_millis()));
@@ -78,5 +87,4 @@ fn main() {
         "    post-convergence deviation: {:+.1}%",
         (colt.range_millis(tail.clone()) / offline.range_millis(tail) - 1.0) * 100.0
     );
-    let _ = rng.gen_range(0..1i64);
 }

@@ -4,11 +4,14 @@
 //! exhibit (`table1`, `fig3`, `fig4`, `fig5`, `fig6`, `ablation`) plus
 //! Criterion micro-benchmarks of the substrates (`cargo bench`).
 //!
-//! Every binary reads two environment variables:
+//! Every binary reads three environment variables:
 //!
 //! * `COLT_SCALE` — data scale relative to the paper's Table 1
 //!   (default: 0.025 = 1/40),
-//! * `COLT_SEED` — master seed (default: 42).
+//! * `COLT_SEED` — master seed (default: 42),
+//! * `COLT_THREADS` — worker threads for the parallel harness
+//!   (default: available parallelism). Results are bit-identical at
+//!   every thread count; only wall-clock time changes.
 //!
 //! Results are printed to stdout in a form that pastes directly into
 //! `EXPERIMENTS.md`.
@@ -23,6 +26,14 @@ pub fn scale() -> f64 {
 /// Master seed from `COLT_SEED` (default 42).
 pub fn seed() -> u64 {
     std::env::var("COLT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Worker-thread count for the parallel harness: `COLT_THREADS` if set,
+/// else the machine's available parallelism. Cell results are
+/// bit-identical at every thread count, so this only changes wall-clock
+/// time.
+pub fn threads() -> usize {
+    colt_harness::default_threads()
 }
 
 /// Generate the experiment data set, logging shape and timing.
@@ -48,6 +59,34 @@ pub fn fmt_ms(ms: f64) -> String {
     } else {
         format!("{ms:.1} ms")
     }
+}
+
+/// Minimal micro-benchmark runner (`cargo bench` harness): warm the
+/// closure up for ~20 ms to size the measured iteration count, then
+/// time it and print ns/op. Wrap results the optimizer could discard
+/// in [`std::hint::black_box`] inside the closure.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    use std::time::{Duration, Instant};
+    let warm = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm.elapsed() < Duration::from_millis(20) {
+        f();
+        warm_iters += 1;
+    }
+    let iters = (warm_iters * 5).clamp(10, 200_000);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let shown = if per_ns >= 1e6 {
+        format!("{:.3} ms/op", per_ns / 1e6)
+    } else if per_ns >= 1e3 {
+        format!("{:.3} µs/op", per_ns / 1e3)
+    } else {
+        format!("{per_ns:.1} ns/op")
+    };
+    println!("  {name:<44} {shown:>14}  ({iters} iters)");
 }
 
 #[cfg(test)]

@@ -18,11 +18,10 @@ use crate::database::Database;
 use crate::index::IndexEstimate;
 use crate::schema::{ColRef, TableId};
 use colt_storage::{CompositeBPlusTree, IoStats, RowId, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a composite index: the table and the ordered columns.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CompositeKey {
     /// Owning table.
     pub table: TableId,

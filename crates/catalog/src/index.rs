@@ -8,10 +8,9 @@
 use crate::schema::ColRef;
 use colt_storage::btree::default_order;
 use colt_storage::{BPlusTree, HeapTable, IoStats, Value};
-use serde::{Deserialize, Serialize};
 
 /// Estimated physical shape of a (possibly hypothetical) index.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndexEstimate {
     /// Number of entries (table rows).
     pub entries: u64,
@@ -66,7 +65,7 @@ pub struct MaterializedIndex {
 }
 
 /// Who installed an index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexOrigin {
     /// Part of the pre-tuned physical design the system started with.
     Base,

@@ -1,16 +1,15 @@
 //! Logical schema: tables, columns, and column references.
 
 use colt_storage::ValueType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a table within a [`crate::Database`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableId(pub u32);
 
 /// A reference to one column of one table — the unit of indexing in the
 /// paper (COLT materializes single-column indices only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ColRef {
     /// Owning table.
     pub table: TableId,
@@ -32,7 +31,7 @@ impl fmt::Display for ColRef {
 }
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name, unique within its table.
     pub name: String,
@@ -48,7 +47,7 @@ impl Column {
 }
 
 /// A table definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     /// Table name, unique within the database.
     pub name: String,

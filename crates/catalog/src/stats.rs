@@ -7,7 +7,6 @@
 //! machinery has to tolerate.
 
 use colt_storage::{HeapTable, Value};
-use serde::{Deserialize, Serialize};
 
 /// Number of buckets in an equi-depth histogram.
 pub const HISTOGRAM_BUCKETS: usize = 32;
@@ -35,7 +34,7 @@ pub const MAX_MCVS: usize = 8;
 /// let half = stats.selectivity_le(&Value::Int(499));
 /// assert!((half - 0.5).abs() < 0.05);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ColumnStats {
     /// Rows in the table when the statistics were gathered.
     pub row_count: u64,

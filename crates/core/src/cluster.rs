@@ -14,15 +14,14 @@
 use colt_catalog::{ColRef, Database, TableId};
 use colt_engine::selectivity::predicate_selectivity;
 use colt_engine::{JoinPred, Query};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Identifier of a cluster within a [`ClusterSet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterId(pub u32);
 
 /// Selectivity bucket of one restricted attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelBucket {
     /// Selectivity in `[0, boundary)` — the paper's 0–2% range.
     Selective,

@@ -1,12 +1,16 @@
 //! COLT configuration parameters.
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Tunable parameters of the COLT framework. Defaults are the values the
 /// paper's experimental study used (§6.1): epoch length `w = 10`, history
 /// depth `h = 12`, at most 20 what-if calls per epoch, and 90% confidence
 /// intervals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Prefer [`ColtConfig::builder`], which validates at construction time;
+/// struct-literal construction remains possible and is validated when the
+/// tuner is created.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColtConfig {
     /// Epoch length `w`: number of queries per profiling epoch.
     pub epoch_length: usize,
@@ -15,6 +19,10 @@ pub struct ColtConfig {
     pub history_epochs: usize,
     /// `#WI_max`: hard cap on what-if calls per epoch.
     pub max_whatif_per_epoch: u64,
+    /// `#WI_lim` of the first epoch. `None` (the default) starts at
+    /// `#WI_max`, as the paper does; later epochs are set by
+    /// re-budgeting. Must not exceed `#WI_max`.
+    pub initial_whatif_limit: Option<u64>,
     /// z-score of the confidence intervals (1.645 ≈ 90%).
     pub confidence_z: f64,
     /// On-line storage budget `B`, in 8 KiB pages.
@@ -67,6 +75,7 @@ impl Default for ColtConfig {
             epoch_length: 10,
             history_epochs: 12,
             max_whatif_per_epoch: 20,
+            initial_whatif_limit: None,
             confidence_z: 1.645,
             storage_budget_pages: 4096,
             selective_boundary: 0.02,
@@ -83,28 +92,253 @@ impl Default for ColtConfig {
     }
 }
 
+/// Why a [`ColtConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The epoch length `w` is zero.
+    ZeroEpochLength,
+    /// The history depth `h` is zero.
+    ZeroHistory,
+    /// The on-line storage budget `B` is zero pages.
+    ZeroStorageBudget,
+    /// The initial what-if limit exceeds `#WI_max`.
+    WhatifLimitExceedsMax {
+        /// The requested initial `#WI_lim`.
+        limit: u64,
+        /// The configured `#WI_max`.
+        max: u64,
+    },
+    /// A float parameter lies outside its allowed interval.
+    OutOfRange {
+        /// Parameter name.
+        param: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// `full_budget_ratio` does not exceed 1.
+    RatioNotAboveOne(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroEpochLength => write!(f, "epoch_length (w) must be positive"),
+            ConfigError::ZeroHistory => write!(f, "history_epochs (h) must be positive"),
+            ConfigError::ZeroStorageBudget => {
+                write!(f, "storage_budget_pages (B) must be positive")
+            }
+            ConfigError::WhatifLimitExceedsMax { limit, max } => {
+                write!(f, "initial_whatif_limit {limit} exceeds max_whatif_per_epoch {max}")
+            }
+            ConfigError::OutOfRange { param, value, lo, hi } => {
+                write!(f, "{param} = {value} outside [{lo}, {hi}]")
+            }
+            ConfigError::RatioNotAboveOne(r) => {
+                write!(f, "full_budget_ratio = {r} must exceed 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl ColtConfig {
-    /// Validate parameter sanity.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Start a validating builder pre-loaded with the paper defaults.
+    pub fn builder() -> ColtConfigBuilder {
+        ColtConfigBuilder { config: ColtConfig::default() }
+    }
+
+    /// Validate parameter sanity. The builder runs this (plus the
+    /// stricter zero-storage-budget check) before handing out a config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.epoch_length == 0 {
-            return Err("epoch_length must be positive".into());
+            return Err(ConfigError::ZeroEpochLength);
         }
         if self.history_epochs == 0 {
-            return Err("history_epochs must be positive".into());
+            return Err(ConfigError::ZeroHistory);
+        }
+        if let Some(limit) = self.initial_whatif_limit {
+            if limit > self.max_whatif_per_epoch {
+                return Err(ConfigError::WhatifLimitExceedsMax {
+                    limit,
+                    max: self.max_whatif_per_epoch,
+                });
+            }
         }
         if !(0.0..=1.0).contains(&self.selective_boundary) {
-            return Err("selective_boundary must be in [0, 1]".into());
+            return Err(ConfigError::OutOfRange {
+                param: "selective_boundary",
+                value: self.selective_boundary,
+                lo: 0.0,
+                hi: 1.0,
+            });
         }
         if self.full_budget_ratio <= 1.0 {
-            return Err("full_budget_ratio must exceed 1".into());
+            return Err(ConfigError::RatioNotAboveOne(self.full_budget_ratio));
         }
-        if !(0.0..=1.0).contains(&self.smoothing_alpha) || !(0.0..=1.0).contains(&self.forecast_decay) {
-            return Err("smoothing factors must be in [0, 1]".into());
+        if !(0.0..=1.0).contains(&self.smoothing_alpha) {
+            return Err(ConfigError::OutOfRange {
+                param: "smoothing_alpha",
+                value: self.smoothing_alpha,
+                lo: 0.0,
+                hi: 1.0,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.forecast_decay) {
+            return Err(ConfigError::OutOfRange {
+                param: "forecast_decay",
+                value: self.forecast_decay,
+                lo: 0.0,
+                hi: 1.0,
+            });
         }
         if !(0.0..=10.0).contains(&self.swap_margin) {
-            return Err("swap_margin must be in [0, 10]".into());
+            return Err(ConfigError::OutOfRange {
+                param: "swap_margin",
+                value: self.swap_margin,
+                lo: 0.0,
+                hi: 10.0,
+            });
         }
         Ok(())
+    }
+
+    /// The first epoch's `#WI_lim` (defaults to `#WI_max`).
+    pub fn initial_whatif_limit(&self) -> u64 {
+        self.initial_whatif_limit.unwrap_or(self.max_whatif_per_epoch)
+    }
+}
+
+/// Validating builder for [`ColtConfig`].
+///
+/// ```
+/// use colt_core::{ColtConfig, ConfigError};
+///
+/// let cfg = ColtConfig::builder()
+///     .epoch_len(10)
+///     .storage_budget_pages(4096)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.epoch_length, 10);
+///
+/// assert_eq!(
+///     ColtConfig::builder().epoch_len(0).build(),
+///     Err(ConfigError::ZeroEpochLength)
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColtConfigBuilder {
+    config: ColtConfig,
+}
+
+impl ColtConfigBuilder {
+    /// Epoch length `w` (queries per epoch).
+    pub fn epoch_len(mut self, w: usize) -> Self {
+        self.config.epoch_length = w;
+        self
+    }
+
+    /// History depth `h` (epochs of memory / forecast horizon).
+    pub fn history_epochs(mut self, h: usize) -> Self {
+        self.config.history_epochs = h;
+        self
+    }
+
+    /// `#WI_max`: hard cap on what-if calls per epoch.
+    pub fn max_whatif_per_epoch(mut self, n: u64) -> Self {
+        self.config.max_whatif_per_epoch = n;
+        self
+    }
+
+    /// The first epoch's `#WI_lim`; must not exceed `#WI_max`.
+    pub fn initial_whatif_limit(mut self, n: u64) -> Self {
+        self.config.initial_whatif_limit = Some(n);
+        self
+    }
+
+    /// Confidence-interval z-score.
+    pub fn confidence_z(mut self, z: f64) -> Self {
+        self.config.confidence_z = z;
+        self
+    }
+
+    /// On-line storage budget `B` in pages.
+    pub fn storage_budget_pages(mut self, b: u64) -> Self {
+        self.config.storage_budget_pages = b;
+        self
+    }
+
+    /// Selective/non-selective clustering boundary.
+    pub fn selective_boundary(mut self, s: f64) -> Self {
+        self.config.selective_boundary = s;
+        self
+    }
+
+    /// `r` at which profiling runs at full budget.
+    pub fn full_budget_ratio(mut self, r: f64) -> Self {
+        self.config.full_budget_ratio = r;
+        self
+    }
+
+    /// Smoothing factor of the crude-benefit series.
+    pub fn smoothing_alpha(mut self, a: f64) -> Self {
+        self.config.smoothing_alpha = a;
+        self
+    }
+
+    /// Forecast decay factor.
+    pub fn forecast_decay(mut self, d: f64) -> Self {
+        self.config.forecast_decay = d;
+        self
+    }
+
+    /// Hot-set size cap.
+    pub fn max_hot_set(mut self, n: usize) -> Self {
+        self.config.max_hot_set = n;
+        self
+    }
+
+    /// Candidate eviction TTL in epochs.
+    pub fn candidate_ttl_epochs(mut self, n: usize) -> Self {
+        self.config.candidate_ttl_epochs = n;
+        self
+    }
+
+    /// Reorganization swap hysteresis margin.
+    pub fn swap_margin(mut self, m: f64) -> Self {
+        self.config.swap_margin = m;
+        self
+    }
+
+    /// Page budget of the multi-column extension (0 disables).
+    pub fn composite_budget_pages(mut self, b: u64) -> Self {
+        self.config.composite_budget_pages = b;
+        self
+    }
+
+    /// Enable or disable self-regulated re-budgeting.
+    pub fn self_regulation(mut self, on: bool) -> Self {
+        self.config.self_regulation = on;
+        self
+    }
+
+    /// Seed of COLT's internal sampling PRNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ColtConfig, ConfigError> {
+        if self.config.storage_budget_pages == 0 {
+            return Err(ConfigError::ZeroStorageBudget);
+        }
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -128,13 +362,58 @@ mod tests {
     fn validation_rejects_bad_parameters() {
         let cases = [
             ColtConfig { epoch_length: 0, ..Default::default() },
+            ColtConfig { history_epochs: 0, ..Default::default() },
             ColtConfig { full_budget_ratio: 1.0, ..Default::default() },
             ColtConfig { selective_boundary: 1.5, ..Default::default() },
             ColtConfig { smoothing_alpha: -0.1, ..Default::default() },
             ColtConfig { swap_margin: -1.0, ..Default::default() },
+            ColtConfig { initial_whatif_limit: Some(21), ..Default::default() },
         ];
         for c in cases {
             assert!(c.validate().is_err(), "{c:?}");
         }
+    }
+
+    #[test]
+    fn builder_accepts_paper_configuration() {
+        let c = ColtConfig::builder()
+            .epoch_len(10)
+            .history_epochs(12)
+            .max_whatif_per_epoch(20)
+            .storage_budget_pages(4096)
+            .initial_whatif_limit(20)
+            .build()
+            .expect("paper parameters are valid");
+        assert_eq!(c.epoch_length, 10);
+        assert_eq!(c.initial_whatif_limit(), 20);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        assert_eq!(
+            ColtConfig::builder().epoch_len(0).build(),
+            Err(ConfigError::ZeroEpochLength)
+        );
+        assert_eq!(
+            ColtConfig::builder().storage_budget_pages(0).build(),
+            Err(ConfigError::ZeroStorageBudget)
+        );
+        assert_eq!(
+            ColtConfig::builder().max_whatif_per_epoch(10).initial_whatif_limit(11).build(),
+            Err(ConfigError::WhatifLimitExceedsMax { limit: 11, max: 10 })
+        );
+        assert_eq!(
+            ColtConfig::builder().full_budget_ratio(0.9).build(),
+            Err(ConfigError::RatioNotAboveOne(0.9))
+        );
+        let err = ColtConfig::builder().swap_margin(-2.0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::OutOfRange { param: "swap_margin", .. }));
+        assert!(err.to_string().contains("swap_margin"));
+    }
+
+    #[test]
+    fn initial_limit_defaults_to_max() {
+        let c = ColtConfig { max_whatif_per_epoch: 7, ..Default::default() };
+        assert_eq!(c.initial_whatif_limit(), 7);
     }
 }

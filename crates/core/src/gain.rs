@@ -13,11 +13,10 @@
 //! statistics carry the table's materialization version and reset when
 //! it moves on (paper §4.1, last paragraph of `QueryGain_H`).
 
-use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance (Welford) over gain samples, tagged with the
 /// materialization version they are consistent with.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GainStats {
     n: u64,
     mean: f64,
@@ -139,7 +138,7 @@ impl GainStats {
 /// queries whose plan actually uses the index, and the per-query benefit
 /// over the cluster is the positive mean scaled by the fraction of
 /// cluster queries that used it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexClusterStats {
     /// Gain samples from what-if calls.
     pub gains: GainStats,

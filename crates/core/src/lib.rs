@@ -29,6 +29,7 @@ pub mod crude;
 pub mod forecast;
 pub mod gain;
 pub mod hotset;
+pub mod json;
 pub mod knapsack;
 pub mod organizer;
 pub mod profiler;
@@ -39,7 +40,7 @@ pub mod tuner;
 
 pub use cluster::{ClusterId, ClusterKey, ClusterSet, SelBucket};
 pub use composite_ext::{CompositeStep, CompositeTuner};
-pub use config::ColtConfig;
+pub use config::{ColtConfig, ColtConfigBuilder, ConfigError};
 pub use gain::{GainStats, IndexClusterStats};
 pub use organizer::{ReorgDecision, SelfOrganizer};
 pub use profiler::{GainMode, ProfileOutcome, Profiler};

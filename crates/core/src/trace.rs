@@ -4,11 +4,11 @@
 //! paper's Figure 5 (what-if calls per epoch) and to audit
 //! materialization churn, budget regulation, and profiling coverage.
 
+use crate::json::Json;
 use colt_catalog::ColRef;
-use serde::{Deserialize, Serialize};
 
 /// One epoch's worth of tuner activity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpochRecord {
     /// Epoch index (0-based).
     pub epoch: u64,
@@ -41,7 +41,7 @@ pub struct EpochRecord {
 }
 
 /// A complete run trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Per-epoch records, in order.
     pub epochs: Vec<EpochRecord>,
@@ -75,7 +75,45 @@ impl Trace {
 
     /// Serialize to JSON (for EXPERIMENTS.md artifacts).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serializes")
+        Json::Obj(vec![(
+            "epochs".to_string(),
+            Json::Arr(self.epochs.iter().map(EpochRecord::to_json_value).collect()),
+        )])
+        .pretty()
+    }
+}
+
+/// Render a column reference as `{"table": t, "column": c}`.
+fn colref_json(c: &ColRef) -> Json {
+    Json::obj(vec![
+        ("table", Json::UInt(c.table.0 as u64)),
+        ("column", Json::UInt(c.column as u64)),
+    ])
+}
+
+fn colrefs_json(cols: &[ColRef]) -> Json {
+    Json::Arr(cols.iter().map(colref_json).collect())
+}
+
+impl EpochRecord {
+    /// The record as a JSON value (one element of the trace artifact).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("epoch", Json::UInt(self.epoch)),
+            ("whatif_used", Json::UInt(self.whatif_used)),
+            ("whatif_limit", Json::UInt(self.whatif_limit)),
+            ("next_budget", Json::UInt(self.next_budget)),
+            ("ratio", Json::Float(self.ratio)),
+            ("net_benefit_m", Json::Float(self.net_benefit_m)),
+            ("net_benefit_m_prime", Json::Float(self.net_benefit_m_prime)),
+            ("materialized", colrefs_json(&self.materialized)),
+            ("created", colrefs_json(&self.created)),
+            ("dropped", colrefs_json(&self.dropped)),
+            ("hot", colrefs_json(&self.hot)),
+            ("build_millis", Json::Float(self.build_millis)),
+            ("candidate_count", Json::UInt(self.candidate_count as u64)),
+            ("cluster_count", Json::UInt(self.cluster_count as u64)),
+        ])
     }
 }
 
@@ -119,8 +157,14 @@ mod tests {
         let mut t = Trace::new();
         t.push(record(0, 7, 1));
         let json = t.to_json();
-        let back: Trace = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.epochs.len(), 1);
-        assert_eq!(back.epochs[0].whatif_used, 7);
+        let back = crate::json::parse(&json).unwrap();
+        let epochs = back.get("epochs").expect("epochs key");
+        assert_eq!(epochs.as_array().unwrap().len(), 1);
+        let first = epochs.idx(0).unwrap();
+        assert_eq!(first.get("whatif_used").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            first.get("created").and_then(|c| c.idx(0)).and_then(|c| c.get("column")).and_then(Json::as_u64),
+            Some(0)
+        );
     }
 }

@@ -1,10 +1,14 @@
-//! Property tests for COLT's decision machinery: the knapsack solver
-//! against brute force, hot-set selection axioms, gain-statistics
-//! algebra, the forecaster, and full-tuner safety invariants.
+//! Randomized property tests for COLT's decision machinery: the
+//! knapsack solver against brute force, hot-set selection axioms,
+//! gain-statistics algebra, the forecaster, and full-tuner safety
+//! invariants. Cases come from the in-repo seeded PRNG
+//! (`colt_core::prng::Prng`), so every run checks the same inputs.
 
 use colt_core::knapsack::{self, Item};
+use colt_core::prng::Prng;
 use colt_core::{forecast, hotset, GainStats};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 fn brute_force_value(items: &[Item], capacity: u64) -> f64 {
     let n = items.len();
@@ -25,57 +29,63 @@ fn brute_force_value(items: &[Item], capacity: u64) -> f64 {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The knapsack DP is exact on arbitrary small instances.
-    #[test]
-    fn knapsack_exact(
-        items in prop::collection::vec((1u64..60, 0.0f64..100.0), 0..12),
-        capacity in 0u64..150,
-    ) {
-        let items: Vec<Item> =
-            items.into_iter().map(|(size, value)| Item { size, value }).collect();
+/// The knapsack DP is exact on arbitrary small instances.
+#[test]
+fn knapsack_exact() {
+    let mut rng = Prng::new(0xC02E_0001);
+    for case in 0..CASES {
+        let items: Vec<Item> = (0..rng.below(12))
+            .map(|_| Item { size: 1 + rng.below_u64(59), value: rng.f64_range(0.0, 100.0) })
+            .collect();
+        let capacity = rng.below_u64(150);
         let chosen = knapsack::solve(&items, capacity);
-        prop_assert!(knapsack::total_size(&items, &chosen) <= capacity);
+        assert!(knapsack::total_size(&items, &chosen) <= capacity, "case {case}");
         let got = knapsack::total_value(&items, &chosen);
         let want = brute_force_value(&items, capacity);
-        prop_assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        assert!((got - want).abs() < 1e-9, "case {case}: got {got}, want {want}");
         // No duplicates, indices in range.
         let mut sorted = chosen.clone();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), chosen.len());
-        prop_assert!(chosen.iter().all(|&i| i < items.len()));
+        assert_eq!(sorted.len(), chosen.len(), "case {case}");
+        assert!(chosen.iter().all(|&i| i < items.len()), "case {case}");
     }
+}
 
-    /// Large-capacity instances with few items are solved *exactly*
-    /// (the solver falls back to subset enumeration instead of the
-    /// precision-losing rescaled DP).
-    #[test]
-    fn knapsack_large_capacity_exact_for_small_pools(
-        items in prop::collection::vec((1_000u64..200_000, 1.0f64..100.0), 1..12),
-        cap_frac in 0.2f64..0.9,
-    ) {
-        let items: Vec<Item> =
-            items.into_iter().map(|(size, value)| Item { size, value }).collect();
+/// Large-capacity instances with few items are solved *exactly* (the
+/// solver falls back to subset enumeration instead of the
+/// precision-losing rescaled DP).
+#[test]
+fn knapsack_large_capacity_exact_for_small_pools() {
+    let mut rng = Prng::new(0xC02E_0002);
+    for case in 0..CASES {
+        let items: Vec<Item> = (0..1 + rng.below(11))
+            .map(|_| Item {
+                size: 1_000 + rng.below_u64(199_000),
+                value: rng.f64_range(1.0, 100.0),
+            })
+            .collect();
+        let cap_frac = rng.f64_range(0.2, 0.9);
         let total: u64 = items.iter().map(|i| i.size).sum();
         let capacity = (total as f64 * cap_frac) as u64;
         let chosen = knapsack::solve(&items, capacity);
-        prop_assert!(knapsack::total_size(&items, &chosen) <= capacity);
+        assert!(knapsack::total_size(&items, &chosen) <= capacity, "case {case}");
         let got = knapsack::total_value(&items, &chosen);
         let want = brute_force_value(&items, capacity);
-        prop_assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        assert!((got - want).abs() < 1e-9, "case {case}: got {got}, want {want}");
     }
+}
 
-    /// Hot-set selection: returns a subset of the positive candidates,
-    /// respects the cap, and is exactly the top-k by benefit (the fill
-    /// rule makes the top cluster a prefix of the ranking).
-    #[test]
-    fn hotset_is_topk(
-        benefits in prop::collection::vec(-10.0f64..100.0, 0..40),
-        max_hot in 0usize..15,
-    ) {
-        use colt_catalog::{ColRef, TableId};
+/// Hot-set selection: returns a subset of the positive candidates,
+/// respects the cap, and is exactly the top-k by benefit (the fill rule
+/// makes the top cluster a prefix of the ranking).
+#[test]
+fn hotset_is_topk() {
+    use colt_catalog::{ColRef, TableId};
+    let mut rng = Prng::new(0xC02E_0003);
+    for case in 0..CASES {
+        let benefits: Vec<f64> =
+            (0..rng.below(40)).map(|_| rng.f64_range(-10.0, 100.0)).collect();
+        let max_hot = rng.below(15);
         let cands: Vec<(ColRef, f64)> = benefits
             .iter()
             .enumerate()
@@ -83,7 +93,7 @@ proptest! {
             .collect();
         let hot = hotset::select_hot(&cands, max_hot);
         let positive: Vec<_> = cands.iter().filter(|(_, b)| *b > 0.0).collect();
-        prop_assert!(hot.len() <= max_hot.min(positive.len()));
+        assert!(hot.len() <= max_hot.min(positive.len()), "case {case}");
         // Every hot member has benefit >= every positive non-member.
         let min_hot = hot
             .iter()
@@ -91,19 +101,24 @@ proptest! {
             .fold(f64::INFINITY, f64::min);
         for (c, b) in &positive {
             if !hot.contains(c) && !hot.is_empty() {
-                prop_assert!(*b <= min_hot + 1e-9, "excluded {b} > min hot {min_hot}");
+                assert!(*b <= min_hot + 1e-9, "case {case}: excluded {b} > min hot {min_hot}");
             }
         }
         // Cap binds exactly when there are enough positives.
         if positive.len() >= max_hot {
-            prop_assert_eq!(hot.len(), max_hot);
+            assert_eq!(hot.len(), max_hot, "case {case}");
         }
     }
+}
 
-    /// Gain statistics match naive mean/variance and keep the interval
-    /// ordered around the mean.
-    #[test]
-    fn gain_stats_algebra(samples in prop::collection::vec(0.0f64..1000.0, 2..50)) {
+/// Gain statistics match naive mean/variance and keep the interval
+/// ordered around the mean.
+#[test]
+fn gain_stats_algebra() {
+    let mut rng = Prng::new(0xC02E_0004);
+    for case in 0..CASES {
+        let samples: Vec<f64> =
+            (0..2 + rng.below(48)).map(|_| rng.f64_range(0.0, 1000.0)).collect();
         let mut s = GainStats::new(0);
         for &x in &samples {
             s.add(x, 0);
@@ -111,40 +126,42 @@ proptest! {
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance() - var).abs() < 1e-6 * var.abs().max(1.0));
+        assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0), "case {case}");
+        assert!((s.variance() - var).abs() < 1e-6 * var.abs().max(1.0), "case {case}");
         let z = 1.645;
-        prop_assert!(s.low(z) <= s.mean() + 1e-9);
-        prop_assert!(s.high(z) >= s.mean() - 1e-9);
-        prop_assert!(s.low(z) >= 0.0);
+        assert!(s.low(z) <= s.mean() + 1e-9, "case {case}");
+        assert!(s.high(z) >= s.mean() - 1e-9, "case {case}");
+        assert!(s.low(z) >= 0.0, "case {case}");
     }
+}
 
-    /// The forecast level is bounded by the series extremes (zero padded)
-    /// and scales linearly.
-    #[test]
-    fn forecast_bounds(
-        series in prop::collection::vec(0.0f64..100.0, 0..12),
-        decay in 0.5f64..1.0,
-        horizon in 1usize..24,
-    ) {
+/// The forecast level is bounded by the series extremes (zero padded)
+/// and scales linearly.
+#[test]
+fn forecast_bounds() {
+    let mut rng = Prng::new(0xC02E_0005);
+    for case in 0..CASES {
+        let series: Vec<f64> = (0..rng.below(12)).map(|_| rng.f64_range(0.0, 100.0)).collect();
+        let decay = rng.f64_range(0.5, 1.0);
+        let horizon = 1 + rng.below(23);
         let lvl = forecast::level(&series, decay, horizon);
         let max = series.iter().copied().fold(0.0f64, f64::max);
-        prop_assert!((0.0..=max + 1e-9).contains(&lvl));
+        assert!((0.0..=max + 1e-9).contains(&lvl), "case {case}");
         let total = forecast::predicted_total(&series, decay, horizon);
-        prop_assert!((total - lvl * horizon as f64).abs() < 1e-9);
+        assert!((total - lvl * horizon as f64).abs() < 1e-9, "case {case}");
         // Scaling the series scales the level.
         let scaled: Vec<f64> = series.iter().map(|x| x * 3.0).collect();
         let lvl3 = forecast::level(&scaled, decay, horizon);
-        prop_assert!((lvl3 - 3.0 * lvl).abs() < 1e-6);
+        assert!((lvl3 - 3.0 * lvl).abs() < 1e-6, "case {case}");
     }
 }
 
 mod tuner_safety {
     use colt_catalog::{ColRef, Column, Database, PhysicalConfig, TableId, TableSchema};
+    use colt_core::prng::Prng;
     use colt_core::{ColtConfig, ColtTuner};
     use colt_engine::{Eqo, Query, SelPred};
     use colt_storage::{row_from, Value, ValueType};
-    use proptest::prelude::*;
 
     fn build_db() -> (Database, TableId, TableId) {
         let mut db = Database::new();
@@ -169,18 +186,18 @@ mod tuner_safety {
         (db, a, b)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        /// Safety under arbitrary query streams: the tuner never panics,
-        /// the what-if budget is respected every epoch, and the on-line
-        /// index footprint never exceeds the storage budget by more than
-        /// the estimate/actual gap of a single index.
-        #[test]
-        fn tuner_invariants_hold_on_random_streams(
-            choices in prop::collection::vec((0u8..6, 0i64..8000), 50..200),
-            budget in 50u64..2_000,
-        ) {
+    /// Safety under arbitrary query streams: the tuner never panics,
+    /// the what-if budget is respected every epoch, and the on-line
+    /// index footprint never exceeds the storage budget by more than
+    /// the estimate/actual gap of a single index.
+    #[test]
+    fn tuner_invariants_hold_on_random_streams() {
+        let mut rng = Prng::new(0xC02E_0006);
+        for case in 0..12u64 {
+            let choices: Vec<(u8, i64)> = (0..50 + rng.below(150))
+                .map(|_| (rng.below(6) as u8, rng.int_range(0, 7999)))
+                .collect();
+            let budget = 50 + rng.below_u64(1_950);
             let (db, a, b) = build_db();
             let cfg = ColtConfig { storage_budget_pages: budget, ..Default::default() };
             let max_wi = cfg.max_whatif_per_epoch;
@@ -205,16 +222,16 @@ mod tuner_safety {
                 tuner.on_query(&db, &mut physical, &mut eqo, &q, &plan);
             }
             for e in &tuner.trace().epochs {
-                prop_assert!(e.whatif_used <= e.whatif_limit);
-                prop_assert!(e.whatif_limit <= max_wi);
-                prop_assert!(e.next_budget <= max_wi);
-                prop_assert!(e.ratio >= 1.0 - 1e-9);
+                assert!(e.whatif_used <= e.whatif_limit, "case {case}");
+                assert!(e.whatif_limit <= max_wi, "case {case}");
+                assert!(e.next_budget <= max_wi, "case {case}");
+                assert!(e.ratio >= 1.0 - 1e-9, "case {case}");
             }
             // Footprint: estimated sizes guide the knapsack; the real
             // trees may differ slightly, so allow 30% slack.
-            prop_assert!(
+            assert!(
                 physical.online_pages() as f64 <= budget as f64 * 1.3 + 8.0,
-                "footprint {} vs budget {budget}",
+                "case {case}: footprint {} vs budget {budget}",
                 physical.online_pages()
             );
         }

@@ -13,11 +13,10 @@ use crate::plan::Plan;
 use crate::query::Query;
 use colt_catalog::{ColRef, TableId};
 use colt_storage::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An aggregate function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
     /// Row count (ignores its column when `None`).
     Count,
@@ -32,7 +31,7 @@ pub enum AggFunc {
 }
 
 /// One aggregate expression.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggExpr {
     /// The function.
     pub func: AggFunc,
@@ -53,7 +52,7 @@ impl AggExpr {
 }
 
 /// A grouping + aggregation specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggSpec {
     /// Grouping columns (empty for a single global group).
     pub group_by: Vec<ColRef>,

@@ -2,10 +2,9 @@
 
 use crate::query::JoinPred;
 use colt_catalog::{ColRef, TableId};
-use serde::{Deserialize, Serialize};
 
 /// How a base table is accessed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AccessPath {
     /// Full sequential scan with all predicates applied as filters.
     SeqScan,
@@ -31,7 +30,7 @@ pub enum AccessPath {
 }
 
 /// A physical plan node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PlanNode {
     /// Base-table access.
     Scan {
@@ -197,7 +196,7 @@ impl PlanNode {
 }
 
 /// A complete optimized plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Root of the operator tree.
     pub root: PlanNode,

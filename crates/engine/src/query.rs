@@ -8,11 +8,10 @@
 
 use colt_catalog::{ColRef, TableId};
 use colt_storage::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One bound of a range predicate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeBound {
     /// The bounding value.
     pub value: Value,
@@ -21,7 +20,7 @@ pub struct RangeBound {
 }
 
 /// The comparison applied by a selection predicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PredicateKind {
     /// `col = value`
     Eq(Value),
@@ -37,7 +36,7 @@ pub enum PredicateKind {
 }
 
 /// A single-column selection predicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelPred {
     /// The restricted column.
     pub col: ColRef,
@@ -134,7 +133,7 @@ impl SelPred {
 }
 
 /// An equi-join predicate `left = right` between columns of two tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JoinPred {
     /// Column of the first table.
     pub left: ColRef,
@@ -166,7 +165,7 @@ impl JoinPred {
 }
 
 /// A select-project-join query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// Referenced tables (no duplicates; self-joins are out of scope, as
     /// in the paper's workloads).

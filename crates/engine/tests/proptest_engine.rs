@@ -1,12 +1,12 @@
-//! Property tests for the engine: for arbitrary queries and arbitrary
-//! physical configurations, plan execution must agree with a trivial
-//! reference evaluator, and what-if answers must equal re-optimization
-//! cost deltas.
+//! Randomized property tests for the engine: for arbitrary queries and
+//! arbitrary physical configurations, plan execution must agree with a
+//! trivial reference evaluator, and what-if answers must equal
+//! re-optimization cost deltas. Cases come from the in-repo seeded
+//! PRNG, so every run checks the same inputs.
 
 use colt_catalog::{ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableId, TableSchema};
 use colt_engine::{Eqo, Executor, IndexSetView, Optimizer, PredicateKind, Query, SelPred};
-use colt_storage::{row_from, Value, ValueType};
-use proptest::prelude::*;
+use colt_storage::{row_from, Prng, Value, ValueType};
 
 /// A two-table database whose contents are fully determined by `n`.
 fn build_db(n_a: usize, n_b: usize) -> (Database, TableId, TableId) {
@@ -77,29 +77,32 @@ fn reference(db: &Database, q: &Query) -> usize {
         .count()
 }
 
-/// Strategy: a random predicate on one of `a`'s three columns.
-fn pred(a: TableId) -> impl Strategy<Value = SelPred> {
-    (0u32..3, -5i64..30, -5i64..30, 0u8..3).prop_map(move |(col, x, y, kind)| {
-        let c = ColRef::new(a, col);
-        match kind {
-            0 => SelPred::eq(c, x),
-            1 => SelPred::between(c, x.min(y), x.max(y)),
-            _ => SelPred::ge(c, x),
-        }
-    })
+/// A random predicate on one of `a`'s three columns.
+fn pred(rng: &mut Prng, a: TableId) -> SelPred {
+    let c = ColRef::new(a, rng.below(3) as u32);
+    let x = rng.int_range(-5, 29);
+    let y = rng.int_range(-5, 29);
+    match rng.below(3) {
+        0 => SelPred::eq(c, x),
+        1 => SelPred::between(c, x.min(y), x.max(y)),
+        _ => SelPred::ge(c, x),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn preds(rng: &mut Prng, a: TableId, max: usize) -> Vec<SelPred> {
+    (0..rng.below(max + 1)).map(|_| pred(rng, a)).collect()
+}
 
-    /// Single-table queries agree with the reference evaluator under
-    /// every index configuration.
-    #[test]
-    fn single_table_matches_reference(
-        n in 1usize..800,
-        preds in prop::collection::vec(pred(TableId(0)), 0..3),
-        index_mask in 0u8..8,
-    ) {
+/// Single-table queries agree with the reference evaluator under every
+/// index configuration.
+#[test]
+fn single_table_matches_reference() {
+    let mut rng = Prng::new(0xE21E_0001);
+    for case in 0..40u64 {
+        let n = 1 + rng.below(799);
+        let preds = preds(&mut rng, TableId(0), 2);
+        let index_mask = rng.below(8) as u8;
+
         let (db, a, _) = build_db(n, 7);
         let q = Query::single(a, preds);
         let mut cfg = PhysicalConfig::new();
@@ -110,20 +113,23 @@ proptest! {
         }
         let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
         let res = Executor::new(&db, &cfg).execute(&q, &plan);
-        prop_assert_eq!(res.row_count as usize, reference(&db, &q));
+        assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}");
     }
+}
 
-    /// Join queries agree with the reference evaluator, with and without
-    /// indexes (including the INLJ-enabled optimizer).
-    #[test]
-    fn join_matches_reference(
-        n_a in 1usize..400,
-        n_b in 1usize..40,
-        preds in prop::collection::vec(pred(TableId(0)), 0..2),
-        with_index in any::<bool>(),
-        inlj in any::<bool>(),
-    ) {
-        use colt_engine::{JoinPred, OptimizerOptions};
+/// Join queries agree with the reference evaluator, with and without
+/// indexes (including the INLJ-enabled optimizer).
+#[test]
+fn join_matches_reference() {
+    use colt_engine::{JoinPred, OptimizerOptions};
+    let mut rng = Prng::new(0xE21E_0002);
+    for case in 0..40u64 {
+        let n_a = 1 + rng.below(399);
+        let n_b = 1 + rng.below(39);
+        let preds = preds(&mut rng, TableId(0), 1);
+        let with_index = rng.chance(0.5);
+        let inlj = rng.chance(0.5);
+
         let (db, a, b) = build_db(n_a, n_b);
         let q = Query::join(
             vec![a, b],
@@ -137,18 +143,22 @@ proptest! {
         let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
         let res = Executor::new(&db, &cfg).execute(&q, &plan);
-        prop_assert_eq!(res.row_count as usize, reference(&db, &q), "{}", plan.explain());
+        assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}: {}", plan.explain());
     }
+}
 
-    /// What-if gains always equal the cost delta of actually toggling
-    /// the index in the view.
-    #[test]
-    fn whatif_equals_reoptimization_delta(
-        n in 50usize..600,
-        preds in prop::collection::vec(pred(TableId(0)), 1..3),
-        probe_col in 0u32..3,
-        materialized in any::<bool>(),
-    ) {
+/// What-if gains always equal the cost delta of actually toggling the
+/// index in the view.
+#[test]
+fn whatif_equals_reoptimization_delta() {
+    let mut rng = Prng::new(0xE21E_0003);
+    for case in 0..40u64 {
+        let n = 50 + rng.below(550);
+        let preds: Vec<SelPred> =
+            (0..1 + rng.below(2)).map(|_| pred(&mut rng, TableId(0))).collect();
+        let probe_col = rng.below(3) as u32;
+        let materialized = rng.chance(0.5);
+
         let (db, a, _) = build_db(n, 7);
         let q = Query::single(a, preds);
         let col = ColRef::new(a, probe_col);
@@ -166,18 +176,25 @@ proptest! {
         let opt = Optimizer::new(&db);
         let c_with = opt.optimize(&q, IndexSetView::real(&with)).est_cost();
         let c_without = opt.optimize(&q, IndexSetView::real(&without)).est_cost();
-        prop_assert!((gain - (c_without - c_with).max(0.0)).abs() < 1e-6,
-            "gain {gain} vs delta {}", c_without - c_with);
+        assert!(
+            (gain - (c_without - c_with).max(0.0)).abs() < 1e-6,
+            "case {case}: gain {gain} vs delta {}",
+            c_without - c_with
+        );
     }
+}
 
-    /// Optimizer plan costs are never higher than the forced-seqscan
-    /// plan under the same view (the optimizer must not pessimize).
-    #[test]
-    fn optimizer_never_pessimizes(
-        n in 50usize..600,
-        preds in prop::collection::vec(pred(TableId(0)), 1..3),
-        index_mask in 0u8..8,
-    ) {
+/// Optimizer plan costs are never higher than the forced-seqscan plan
+/// under the same view (the optimizer must not pessimize).
+#[test]
+fn optimizer_never_pessimizes() {
+    let mut rng = Prng::new(0xE21E_0004);
+    for case in 0..40u64 {
+        let n = 50 + rng.below(550);
+        let preds: Vec<SelPred> =
+            (0..1 + rng.below(2)).map(|_| pred(&mut rng, TableId(0))).collect();
+        let index_mask = rng.below(8) as u8;
+
         let (db, a, _) = build_db(n, 7);
         let q = Query::single(a, preds);
         let mut cfg = PhysicalConfig::new();
@@ -189,16 +206,19 @@ proptest! {
         let opt = Optimizer::new(&db);
         let chosen = opt.optimize(&q, IndexSetView::real(&cfg)).est_cost();
         let bare = opt.optimize(&q, IndexSetView::real(&PhysicalConfig::new())).est_cost();
-        prop_assert!(chosen <= bare + 1e-9, "chosen {chosen} vs seq {bare}");
+        assert!(chosen <= bare + 1e-9, "case {case}: chosen {chosen} vs seq {bare}");
     }
+}
 
-    /// Aggregation counts always match the plain result cardinality.
-    #[test]
-    fn aggregate_count_matches_rows(
-        n in 1usize..500,
-        preds in prop::collection::vec(pred(TableId(0)), 0..2),
-    ) {
-        use colt_engine::{AggExpr, AggSpec};
+/// Aggregation counts always match the plain result cardinality.
+#[test]
+fn aggregate_count_matches_rows() {
+    use colt_engine::{AggExpr, AggSpec};
+    let mut rng = Prng::new(0xE21E_0005);
+    for case in 0..40u64 {
+        let n = 1 + rng.below(499);
+        let preds = preds(&mut rng, TableId(0), 1);
+
         let (db, a, _) = build_db(n, 7);
         let q = Query::single(a, preds);
         let cfg = PhysicalConfig::new();
@@ -207,56 +227,55 @@ proptest! {
         let plain = exec.execute(&q, &plan).row_count;
         let spec = AggSpec { group_by: vec![], exprs: vec![AggExpr::count_star()] };
         let (_, rows) = exec.execute_aggregate(&q, &plan, &spec);
-        prop_assert_eq!(rows[0][0].clone(), Value::Int(plain as i64));
+        assert_eq!(rows[0][0], Value::Int(plain as i64), "case {case}");
     }
+}
 
-    /// SQL parsing of generated statements round-trips the predicate
-    /// semantics: executing the parsed query matches the reference.
-    #[test]
-    fn parsed_sql_matches_reference(
-        n in 10usize..400,
-        eq in -5i64..30,
-        lo in -5i64..15,
-        width in 0i64..20,
-    ) {
+/// SQL parsing of generated statements round-trips the predicate
+/// semantics: executing the parsed query matches the reference.
+#[test]
+fn parsed_sql_matches_reference() {
+    let mut rng = Prng::new(0xE21E_0006);
+    for case in 0..40u64 {
+        let n = 10 + rng.below(390);
+        let eq = rng.int_range(-5, 29);
+        let lo = rng.int_range(-5, 14);
+        let width = rng.int_range(0, 19);
+
         let (db, _, _) = build_db(n, 7);
         let sql = format!(
             "SELECT * FROM a WHERE v = {eq} AND id BETWEEN {lo} AND {}",
             lo + width
         );
         let parsed = colt_engine::parse_sql(&db, &sql).unwrap();
-        prop_assert!(parsed.agg.is_none());
+        assert!(parsed.agg.is_none(), "case {case}");
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&parsed.query, IndexSetView::real(&cfg));
         let res = Executor::new(&db, &cfg).execute(&parsed.query, &plan);
-        prop_assert_eq!(res.row_count as usize, reference(&db, &parsed.query));
+        assert_eq!(res.row_count as usize, reference(&db, &parsed.query), "case {case}");
         // And the parsed predicates have the intended shapes.
         let eq_ok = matches!(parsed.query.selections[0].kind, PredicateKind::Eq(_));
         let range_ok = matches!(parsed.query.selections[1].kind, PredicateKind::Range { .. });
-        prop_assert!(eq_ok && range_ok);
+        assert!(eq_ok && range_ok, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Three-table chains agree with the reference for every index
+/// configuration and optimizer option.
+#[test]
+fn three_table_chain_matches_reference() {
+    use colt_engine::{JoinPred, OptimizerOptions};
+    let mut rng = Prng::new(0xE21E_0007);
+    for case in 0..24u64 {
+        let n_a = 1 + rng.below(149);
+        let n_b = 1 + rng.below(29);
+        let preds = preds(&mut rng, TableId(0), 1);
+        let index_mask = rng.below(4) as u8;
+        let inlj = rng.chance(0.5);
 
-    /// Three-table chains agree with the reference for every index
-    /// configuration and optimizer option.
-    #[test]
-    fn three_table_chain_matches_reference(
-        n_a in 1usize..150,
-        n_b in 1usize..30,
-        preds in prop::collection::vec(pred(TableId(0)), 0..2),
-        index_mask in 0u8..4,
-        inlj in any::<bool>(),
-    ) {
-        use colt_engine::{JoinPred, OptimizerOptions};
         // Chain: a.fk = b.id, b.w = c.id (c = a small extra table).
         let (mut db, a, b) = build_db(n_a, n_b);
-        let c = db.add_table(TableSchema::new(
-            "c",
-            vec![Column::new("id", ValueType::Int)],
-        ));
+        let c = db.add_table(TableSchema::new("c", vec![Column::new("id", ValueType::Int)]));
         db.insert_rows(c, (0..5i64).map(|i| row_from(vec![Value::Int(i)])));
         db.analyze_all();
 
@@ -278,38 +297,49 @@ proptest! {
         let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
         let res = Executor::new(&db, &cfg).execute(&q, &plan);
-        prop_assert_eq!(res.row_count as usize, reference(&db, &q), "{}", plan.explain());
+        assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}: {}", plan.explain());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The SQL parser never panics, whatever bytes it is fed.
-    #[test]
-    fn sql_parser_never_panics(input in "\\PC{0,120}") {
-        let (db, _, _) = build_db(10, 5);
+/// The SQL parser never panics, whatever bytes it is fed.
+#[test]
+fn sql_parser_never_panics() {
+    let mut rng = Prng::new(0xE21E_0008);
+    let (db, _, _) = build_db(10, 5);
+    for _case in 0..256u64 {
+        let len = rng.below(121);
+        let input: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus a sprinkling of non-ASCII.
+                if rng.chance(0.9) {
+                    (0x20 + rng.below(0x5f) as u8) as char
+                } else {
+                    char::from_u32(0xa0 + rng.below(0x2000) as u32).unwrap_or('\u{fffd}')
+                }
+            })
+            .collect();
         let _ = colt_engine::parse_sql(&db, &input);
     }
+}
 
-    /// Near-miss SQL (valid tokens, scrambled structure) never panics
-    /// and either parses or errors cleanly.
-    #[test]
-    fn sql_token_soup_never_panics(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                "select", "from", "where", "and", "between", "group", "by",
-                "a", "b", "id", "fk", "v", "w", "*", ",", ".", "(", ")",
-                "=", "<", "<=", ">", ">=", "1", "2.5", "'x'", "count", "sum",
-            ]),
-            0..25,
-        ),
-    ) {
-        let (db, _, _) = build_db(10, 5);
-        let input = words.join(" ");
+/// Near-miss SQL (valid tokens, scrambled structure) never panics and
+/// either parses or errors cleanly.
+#[test]
+fn sql_token_soup_never_panics() {
+    const WORDS: &[&str] = &[
+        "select", "from", "where", "and", "between", "group", "by", "a", "b", "id", "fk", "v",
+        "w", "*", ",", ".", "(", ")", "=", "<", "<=", ">", ">=", "1", "2.5", "'x'", "count",
+        "sum",
+    ];
+    let mut rng = Prng::new(0xE21E_0009);
+    let (db, _, _) = build_db(10, 5);
+    for case in 0..256u64 {
+        let n = rng.below(25);
+        let input =
+            (0..n).map(|_| WORDS[rng.below(WORDS.len())]).collect::<Vec<_>>().join(" ");
         if let Ok(parsed) = colt_engine::parse_sql(&db, &input) {
             // Anything that parses must be a valid query.
-            prop_assert!(parsed.query.validate().is_ok());
+            assert!(parsed.query.validate().is_ok(), "case {case}: {input}");
         }
     }
 }

@@ -5,19 +5,27 @@
 //! charging tuning overhead exactly as the paper's methodology does, and
 //! renders paper-style bucketed comparisons, what-if overhead series,
 //! and time ratios.
+//!
+//! Entry points: [`Experiment`] for one run, [`parallel::run_cells`] to
+//! fan independent run cells (policy arms × seeds × presets) across a
+//! scoped thread pool with serial-identical output.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod metrics;
 pub mod multiclient;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 
 pub use metrics::{adaptation_latency, budget_utilization, convergence_point};
 pub use multiclient::{interleave, split_round_robin};
-pub use report::{bucket_rows, render_buckets, render_whatif_series, time_ratio, BucketRow};
-pub use runner::{
-    run_colt, run_colt_with_strategy, run_none, run_offline, QuerySample, RunResult,
-    WHATIF_COST_UNITS,
+pub use parallel::{default_threads, run_cells, run_cells_default, Cell, CellResult, ParallelReport};
+pub use report::{
+    bucket_rows, render_buckets, render_parallel_summary, render_whatif_series, time_ratio,
+    BucketRow,
 };
+pub use runner::{Experiment, Policy, QuerySample, RunResult, WHATIF_COST_UNITS};
+#[allow(deprecated)]
+pub use runner::{run_colt, run_colt_with_strategy, run_none, run_offline};

@@ -96,12 +96,12 @@ pub fn budget_utilization(run: &RunResult, max_budget: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::QuerySample;
+    use crate::runner::{Policy, QuerySample};
     use colt_core::Trace;
 
     fn fake(times: Vec<f64>) -> RunResult {
         RunResult {
-            policy: "COLT",
+            policy: Policy::None,
             samples: times
                 .into_iter()
                 .map(|t| QuerySample { exec_millis: t, tuning_millis: 0.0, rows: 0 })

@@ -6,6 +6,7 @@
 //! We render the same information as aligned text tables plus ASCII
 //! bars, which diff cleanly and paste into EXPERIMENTS.md.
 
+use crate::parallel::ParallelReport;
 use crate::runner::RunResult;
 
 /// One row of a Figure-3/4-style comparison.
@@ -98,15 +99,42 @@ pub fn time_ratio(colt: &RunResult, offline: &RunResult, skip: usize) -> f64 {
     c / o
 }
 
+/// Render a parallel batch's per-cell progress and wall-clock/speedup
+/// metrics. Contains real wall-clock times, so the bench binaries print
+/// it to **stderr** — stdout artifacts stay byte-identical across
+/// thread counts.
+pub fn render_parallel_summary(title: &str, report: &ParallelReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("  threads: {}\n", report.threads));
+    for c in &report.cells {
+        out.push_str(&format!(
+            "  {:<28} {:>7}  {:>9.0} ms wall  {:>12.1} ms simulated\n",
+            c.label,
+            c.result.policy.label(),
+            c.cell_millis,
+            c.result.total_millis(),
+        ));
+    }
+    out.push_str(&format!(
+        "  wall clock {:.0} ms, serial-equivalent {:.0} ms, speedup {:.2}x\n",
+        report.wall_millis,
+        report.serial_millis(),
+        report.speedup(),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::QuerySample;
+    use crate::parallel::CellResult;
+    use crate::runner::{Policy, QuerySample};
     use colt_core::Trace;
 
-    fn fake_run(policy: &'static str, times: &[f64]) -> RunResult {
+    fn fake_run(times: &[f64]) -> RunResult {
         RunResult {
-            policy,
+            policy: Policy::None,
             samples: times
                 .iter()
                 .map(|&t| QuerySample { exec_millis: t, tuning_millis: 0.0, rows: 0 })
@@ -120,8 +148,8 @@ mod tests {
 
     #[test]
     fn bucket_rows_regions() {
-        let colt = fake_run("COLT", &[10.0, 10.0, 5.0, 5.0]);
-        let off = fake_run("OFFLINE", &[5.0, 5.0, 10.0, 10.0]);
+        let colt = fake_run(&[10.0, 10.0, 5.0, 5.0]);
+        let off = fake_run(&[5.0, 5.0, 10.0, 10.0]);
         let rows = bucket_rows(&colt, &off, 2);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].minimum(), 10.0);
@@ -133,8 +161,8 @@ mod tests {
 
     #[test]
     fn render_includes_totals() {
-        let colt = fake_run("COLT", &[10.0, 10.0]);
-        let off = fake_run("OFFLINE", &[5.0, 5.0]);
+        let colt = fake_run(&[10.0, 10.0]);
+        let off = fake_run(&[5.0, 5.0]);
         let rows = bucket_rows(&colt, &off, 1);
         let s = render_buckets("Test", &rows);
         assert!(s.contains("COLT 20.0 ms"));
@@ -144,10 +172,26 @@ mod tests {
 
     #[test]
     fn ratio_skips_warmup() {
-        let colt = fake_run("COLT", &[100.0, 10.0, 10.0]);
-        let off = fake_run("OFFLINE", &[1.0, 10.0, 10.0]);
+        let colt = fake_run(&[100.0, 10.0, 10.0]);
+        let off = fake_run(&[1.0, 10.0, 10.0]);
         assert!((time_ratio(&colt, &off, 1) - 1.0).abs() < 1e-9);
         assert!(time_ratio(&colt, &off, 0) > 1.0);
+    }
+
+    #[test]
+    fn parallel_summary_renders_speedup() {
+        let report = ParallelReport {
+            cells: vec![
+                CellResult { label: "a".into(), result: fake_run(&[1.0]), cell_millis: 300.0 },
+                CellResult { label: "b".into(), result: fake_run(&[2.0]), cell_millis: 100.0 },
+            ],
+            wall_millis: 200.0,
+            threads: 2,
+        };
+        let s = render_parallel_summary("Batch", &report);
+        assert!(s.contains("threads: 2"));
+        assert!(s.contains("speedup 2.00x"));
+        assert!(s.contains("serial-equivalent 400 ms"));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Experiment runner: drives a query stream through the engine under a
 //! tuning policy and records per-query simulated times.
 //!
-//! The accounting follows the paper's methodology (§6.1):
+//! The entry point is [`Experiment`]: pick a [`Policy`], then
+//! [`Experiment::run`]. The accounting follows the paper's methodology
+//! (§6.1):
 //!
 //! * **OFFLINE** — indices are selected and materialized before the run
 //!   and none of that work is charged; per-query time is pure execution.
@@ -15,10 +17,10 @@
 //! * **NONE** — no tuning at all; the pre-tuned baseline.
 
 use colt_catalog::{ColRef, Database, PhysicalConfig};
+use colt_core::json::Json;
 use colt_core::{ColtConfig, ColtTuner, MaterializationStrategy, Trace};
 use colt_engine::{Eqo, Executor, Query};
 use colt_offline::OfflineSelection;
-use serde::{Deserialize, Serialize};
 
 /// Optimizer charge per what-if probe, in cost units. The prototype's
 /// what-if optimizer reuses intermediate solutions of the initial
@@ -26,8 +28,40 @@ use serde::{Deserialize, Serialize};
 /// units ≈ reading five sequential pages.
 pub const WHATIF_COST_UNITS: f64 = 5.0;
 
+/// The tuning policy of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// No tuning at all; the pre-tuned baseline.
+    None,
+    /// The idealized OFFLINE baseline: the optimal index set for the
+    /// analyzed workload is materialized for free before the stream
+    /// starts.
+    Offline {
+        /// Storage budget `B` in pages for the offline selection.
+        budget_pages: u64,
+    },
+    /// COLT with an explicit materialization strategy.
+    Colt(ColtConfig, MaterializationStrategy),
+}
+
+impl Policy {
+    /// COLT under the paper's immediate materialization strategy.
+    pub fn colt(config: ColtConfig) -> Policy {
+        Policy::Colt(config, MaterializationStrategy::Immediate)
+    }
+
+    /// The policy's display label ("NONE", "OFFLINE", "COLT").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::None => "NONE",
+            Policy::Offline { .. } => "OFFLINE",
+            Policy::Colt(..) => "COLT",
+        }
+    }
+}
+
 /// Per-query outcome of a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySample {
     /// Pure execution time (simulated ms).
     pub exec_millis: f64,
@@ -47,8 +81,8 @@ impl QuerySample {
 /// The outcome of one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Label of the policy ("COLT", "OFFLINE", "NONE").
-    pub policy: &'static str,
+    /// The policy that produced the run.
+    pub policy: Policy,
     /// Per-query samples, in stream order.
     pub samples: Vec<QuerySample>,
     /// COLT's epoch trace (empty for other policies).
@@ -81,134 +115,212 @@ impl RunResult {
 
     /// Serialize a run summary (policy, totals, per-epoch what-if
     /// series, final indices) as pretty JSON — the EXPERIMENTS.md
-    /// artifact format.
+    /// artifact format. The writer is deterministic: equal results
+    /// render to identical bytes no matter which thread produced them.
     pub fn summary_json(&self) -> String {
-        let summary = serde_json::json!({
-            "policy": self.policy,
-            "queries": self.samples.len(),
-            "total_millis": self.total_millis(),
-            "exec_millis": self.samples.iter().map(|s| s.exec_millis).sum::<f64>(),
-            "tuning_millis": self.samples.iter().map(|s| s.tuning_millis).sum::<f64>(),
-            "whatif_per_epoch": self.trace.whatif_per_epoch(),
-            "total_builds": self.trace.total_builds(),
-            "final_indices": self.final_indices,
-            "profiled_indices": self.profiled_indices,
-        });
-        serde_json::to_string_pretty(&summary).expect("summary serializes")
+        let colref = |c: &ColRef| {
+            Json::obj(vec![
+                ("table", Json::UInt(c.table.0 as u64)),
+                ("column", Json::UInt(c.column as u64)),
+            ])
+        };
+        Json::obj(vec![
+            ("policy", Json::Str(self.policy.label().to_string())),
+            ("queries", Json::UInt(self.samples.len() as u64)),
+            ("total_millis", Json::Float(self.total_millis())),
+            ("exec_millis", Json::Float(self.samples.iter().map(|s| s.exec_millis).sum::<f64>())),
+            (
+                "tuning_millis",
+                Json::Float(self.samples.iter().map(|s| s.tuning_millis).sum::<f64>()),
+            ),
+            (
+                "whatif_per_epoch",
+                Json::Arr(self.trace.whatif_per_epoch().into_iter().map(Json::UInt).collect()),
+            ),
+            ("total_builds", Json::UInt(self.trace.total_builds() as u64)),
+            ("final_indices", Json::Arr(self.final_indices.iter().map(colref).collect())),
+            ("profiled_indices", Json::UInt(self.profiled_indices as u64)),
+        ])
+        .pretty()
+    }
+}
+
+/// One experiment: a database, a query stream, and a policy.
+///
+/// The builder borrows the database and workload read-only, so many
+/// experiments over the same data can run concurrently (see
+/// [`crate::parallel`]); all mutable state (physical configuration,
+/// tuner, optimizer memo) is created inside [`Experiment::run`] and
+/// owned by the run.
+///
+/// ```no_run
+/// use colt_harness::{Experiment, Policy};
+/// # let db = colt_catalog::Database::new();
+/// # let workload: Vec<colt_engine::Query> = Vec::new();
+/// let colt = Experiment::new(&db, &workload)
+///     .policy(Policy::colt(colt_core::ColtConfig::default()))
+///     .run();
+/// println!("{}", colt.summary_json());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment<'a> {
+    db: &'a Database,
+    workload: &'a [Query],
+    policy: Policy,
+    analyzed: Option<&'a [Query]>,
+}
+
+impl<'a> Experiment<'a> {
+    /// An experiment over `workload`; the default policy is
+    /// [`Policy::None`].
+    pub fn new(db: &'a Database, workload: &'a [Query]) -> Self {
+        Experiment { db, workload, policy: Policy::None, analyzed: None }
+    }
+
+    /// Select the tuning policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// For [`Policy::Offline`]: the queries handed to the offline
+    /// advisor (defaults to the whole workload; the noise experiment
+    /// passes only the base distribution's queries).
+    pub fn analyzed(mut self, analyzed: &'a [Query]) -> Self {
+        self.analyzed = Some(analyzed);
+        self
+    }
+
+    /// Execute the run and collect per-query samples.
+    pub fn run(&self) -> RunResult {
+        match &self.policy {
+            Policy::None => self.run_untuned(PhysicalConfig::new(), Policy::None, None),
+            Policy::Offline { budget_pages } => {
+                let analyzed = self.analyzed.unwrap_or(self.workload);
+                let selection = colt_offline::select(self.db, analyzed, *budget_pages);
+                let config = colt_offline::materialize(self.db, &selection);
+                self.run_untuned(config, self.policy.clone(), Some(selection))
+            }
+            Policy::Colt(config, strategy) => self.run_colt(config.clone(), *strategy),
+        }
+    }
+
+    /// Shared path for the two untuned policies: run the stream under a
+    /// fixed physical configuration, charging nothing but execution.
+    fn run_untuned(
+        &self,
+        config: PhysicalConfig,
+        policy: Policy,
+        offline: Option<OfflineSelection>,
+    ) -> RunResult {
+        let mut eqo = Eqo::new(self.db);
+        let samples = self
+            .workload
+            .iter()
+            .map(|q| {
+                let plan = eqo.optimize(q, &config);
+                let res = Executor::new(self.db, &config).execute(q, &plan);
+                QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count }
+            })
+            .collect();
+        RunResult {
+            policy,
+            samples,
+            trace: Trace::new(),
+            final_indices: config.columns().collect(),
+            offline,
+            profiled_indices: 0,
+        }
+    }
+
+    /// COLT: charge every cost of tuning to the stream.
+    ///
+    /// * `Immediate` — builds are charged to the query that triggered
+    ///   the epoch boundary (the paper's accounting).
+    /// * `IdleTime` — an idle window is assumed between epochs: deferred
+    ///   builds happen there and are *not* charged to the stream, but
+    ///   queries meanwhile run without the pending indices.
+    /// * `Piggyback` — builds ride on later sequential scans; only the
+    ///   sort and index writes are charged.
+    fn run_colt(&self, colt_config: ColtConfig, strategy: MaterializationStrategy) -> RunResult {
+        let db = self.db;
+        let mut physical = PhysicalConfig::new();
+        let mut tuner = ColtTuner::with_strategy(colt_config.clone(), strategy);
+        let mut eqo = Eqo::new(db);
+        let mut samples = Vec::with_capacity(self.workload.len());
+        let mut whatif_before = 0u64;
+
+        for q in self.workload {
+            let plan = eqo.optimize(q, &physical);
+            let res = Executor::new(db, &physical).execute(q, &plan);
+
+            let step = tuner.on_query(db, &mut physical, &mut eqo, q, &plan);
+            if strategy == MaterializationStrategy::IdleTime && step.epoch_closed {
+                // Epoch boundary = assumed idle window; deferred builds
+                // run in the background, uncharged.
+                tuner.on_idle(db, &mut physical);
+            }
+
+            let whatif_now = eqo.counters().whatif_calls;
+            let whatif_cost =
+                (whatif_now - whatif_before) as f64 * WHATIF_COST_UNITS * db.cost.ms_per_cost_unit;
+            whatif_before = whatif_now;
+            let build_cost = db.cost.millis_of(&step.build_io);
+
+            samples.push(QuerySample {
+                exec_millis: res.millis,
+                tuning_millis: whatif_cost + build_cost,
+                rows: res.row_count,
+            });
+        }
+
+        RunResult {
+            policy: Policy::Colt(colt_config, strategy),
+            profiled_indices: tuner.profiler().profiled_index_count(),
+            trace: tuner.trace().clone(),
+            final_indices: physical.online_columns().collect(),
+            offline: None,
+            samples,
+        }
     }
 }
 
 /// Run the stream with no tuning at all.
+#[deprecated(note = "use Experiment::new(db, workload).run() (Policy::None is the default)")]
 pub fn run_none(db: &Database, workload: &[Query]) -> RunResult {
-    let config = PhysicalConfig::new();
-    let mut eqo = Eqo::new(db);
-    let samples = workload
-        .iter()
-        .map(|q| {
-            let plan = eqo.optimize(q, &config);
-            let res = Executor::new(db, &config).execute(q, &plan);
-            QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count }
-        })
-        .collect();
-    RunResult {
-        policy: "NONE",
-        samples,
-        trace: Trace::new(),
-        final_indices: Vec::new(),
-        offline: None,
-        profiled_indices: 0,
-    }
+    Experiment::new(db, workload).run()
 }
 
-/// Run the stream under the idealized OFFLINE policy: the optimal index
-/// set for `analyzed` (usually the whole workload; the noise experiment
-/// passes only the base distribution's queries) is materialized for
-/// free before the stream starts.
+/// Run the stream under the idealized OFFLINE policy.
+#[deprecated(
+    note = "use Experiment::new(db, workload).policy(Policy::Offline { budget_pages }).analyzed(analyzed).run()"
+)]
 pub fn run_offline(
     db: &Database,
     workload: &[Query],
     analyzed: &[Query],
     budget_pages: u64,
 ) -> RunResult {
-    let selection = colt_offline::select(db, analyzed, budget_pages);
-    let config = colt_offline::materialize(db, &selection);
-    let mut eqo = Eqo::new(db);
-    let samples = workload
-        .iter()
-        .map(|q| {
-            let plan = eqo.optimize(q, &config);
-            let res = Executor::new(db, &config).execute(q, &plan);
-            QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count }
-        })
-        .collect();
-    RunResult {
-        policy: "OFFLINE",
-        samples,
-        trace: Trace::new(),
-        final_indices: config.columns().collect(),
-        offline: Some(selection),
-        profiled_indices: 0,
-    }
+    Experiment::new(db, workload).policy(Policy::Offline { budget_pages }).analyzed(analyzed).run()
 }
 
 /// Run the stream under COLT, charging all tuning overhead to it.
+#[deprecated(note = "use Experiment::new(db, workload).policy(Policy::colt(config)).run()")]
 pub fn run_colt(db: &Database, workload: &[Query], colt_config: ColtConfig) -> RunResult {
-    run_colt_with_strategy(db, workload, colt_config, MaterializationStrategy::Immediate)
+    Experiment::new(db, workload).policy(Policy::colt(colt_config)).run()
 }
 
 /// Run the stream under COLT with an explicit materialization strategy.
-///
-/// * `Immediate` — builds are charged to the query that triggered the
-///   epoch boundary (the paper's accounting).
-/// * `IdleTime` — an idle window is assumed between epochs: deferred
-///   builds happen there and are *not* charged to the stream, but
-///   queries meanwhile run without the pending indices.
-/// * `Piggyback` — builds ride on later sequential scans; only the sort
-///   and index writes are charged.
+#[deprecated(
+    note = "use Experiment::new(db, workload).policy(Policy::Colt(config, strategy)).run()"
+)]
 pub fn run_colt_with_strategy(
     db: &Database,
     workload: &[Query],
     colt_config: ColtConfig,
     strategy: MaterializationStrategy,
 ) -> RunResult {
-    let mut physical = PhysicalConfig::new();
-    let mut tuner = ColtTuner::with_strategy(colt_config, strategy);
-    let mut eqo = Eqo::new(db);
-    let mut samples = Vec::with_capacity(workload.len());
-    let mut whatif_before = 0u64;
-
-    for q in workload {
-        let plan = eqo.optimize(q, &physical);
-        let res = Executor::new(db, &physical).execute(q, &plan);
-
-        let step = tuner.on_query(db, &mut physical, &mut eqo, q, &plan);
-        if strategy == MaterializationStrategy::IdleTime && step.epoch_closed {
-            // Epoch boundary = assumed idle window; deferred builds run
-            // in the background, uncharged.
-            tuner.on_idle(db, &mut physical);
-        }
-
-        let whatif_now = eqo.counters().whatif_calls;
-        let whatif_cost =
-            (whatif_now - whatif_before) as f64 * WHATIF_COST_UNITS * db.cost.ms_per_cost_unit;
-        whatif_before = whatif_now;
-        let build_cost = db.cost.millis_of(&step.build_io);
-
-        samples.push(QuerySample {
-            exec_millis: res.millis,
-            tuning_millis: whatif_cost + build_cost,
-            rows: res.row_count,
-        });
-    }
-
-    RunResult {
-        policy: "COLT",
-        profiled_indices: tuner.profiler().profiled_index_count(),
-        trace: tuner.trace().clone(),
-        final_indices: physical.online_columns().collect(),
-        offline: None,
-        samples,
-    }
+    Experiment::new(db, workload).policy(Policy::Colt(colt_config, strategy)).run()
 }
 
 #[cfg(test)]
@@ -235,15 +347,26 @@ mod tests {
             .collect()
     }
 
+    fn run_colt_budget(db: &Database, w: &[Query], budget: u64) -> RunResult {
+        Experiment::new(db, w)
+            .policy(Policy::colt(ColtConfig { storage_budget_pages: budget, ..Default::default() }))
+            .run()
+    }
+
     #[test]
     fn none_vs_offline_vs_colt_ordering() {
         let (db, t) = setup();
         let w = selective_stream(t, 200);
         let budget = db.index_estimate(ColRef::new(t, 0)).pages + 10;
 
-        let none = run_none(&db, &w);
-        let offline = run_offline(&db, &w, &w, budget);
-        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: budget, ..Default::default() });
+        let none = Experiment::new(&db, &w).run();
+        let offline =
+            Experiment::new(&db, &w).policy(Policy::Offline { budget_pages: budget }).run();
+        let colt = run_colt_budget(&db, &w, budget);
+
+        assert_eq!(none.policy, Policy::None);
+        assert_eq!(offline.policy.label(), "OFFLINE");
+        assert_eq!(colt.policy.label(), "COLT");
 
         // OFFLINE (free index from query 0) must beat NONE decisively.
         assert!(offline.total_millis() < none.total_millis() * 0.2);
@@ -267,7 +390,7 @@ mod tests {
     fn colt_charges_tuning_overhead() {
         let (db, t) = setup();
         let w = selective_stream(t, 100);
-        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: 100_000, ..Default::default() });
+        let colt = run_colt_budget(&db, &w, 100_000);
         let tuning: f64 = colt.samples.iter().map(|s| s.tuning_millis).sum();
         assert!(tuning > 0.0, "what-if and build overhead must be charged");
         assert!(colt.trace.total_whatif() > 0);
@@ -278,7 +401,7 @@ mod tests {
     fn bucket_sums_cover_everything() {
         let (db, t) = setup();
         let w = selective_stream(t, 100);
-        let none = run_none(&db, &w);
+        let none = Experiment::new(&db, &w).run();
         let buckets = none.bucket_millis(30);
         assert_eq!(buckets.len(), 4); // 30+30+30+10
         let sum: f64 = buckets.iter().sum();
@@ -289,13 +412,13 @@ mod tests {
     fn summary_json_round_trips() {
         let (db, t) = setup();
         let w = selective_stream(t, 60);
-        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: 100_000, ..Default::default() });
+        let colt = run_colt_budget(&db, &w, 100_000);
         let json = colt.summary_json();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["policy"], "COLT");
-        assert_eq!(v["queries"], 60);
-        assert!(v["total_millis"].as_f64().unwrap() > 0.0);
-        assert!(v["whatif_per_epoch"].is_array());
+        let v = colt_core::json::parse(&json).unwrap();
+        assert_eq!(v.get("policy").and_then(Json::as_str), Some("COLT"));
+        assert_eq!(v.get("queries").and_then(Json::as_u64), Some(60));
+        assert!(v.get("total_millis").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(v.get("whatif_per_epoch").is_some_and(Json::is_array));
     }
 
     #[test]
@@ -303,12 +426,36 @@ mod tests {
         let (db, t) = setup();
         let w = selective_stream(t, 60);
         let budget = 100_000;
-        let none = run_none(&db, &w);
-        let offline = run_offline(&db, &w, &w, budget);
-        let colt = run_colt(&db, &w, ColtConfig { storage_budget_pages: budget, ..Default::default() });
+        let none = Experiment::new(&db, &w).run();
+        let offline =
+            Experiment::new(&db, &w).policy(Policy::Offline { budget_pages: budget }).run();
+        let colt = run_colt_budget(&db, &w, budget);
         for i in 0..w.len() {
             assert_eq!(none.samples[i].rows, offline.samples[i].rows, "query {i}");
             assert_eq!(none.samples[i].rows, colt.samples[i].rows, "query {i}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let (db, t) = setup();
+        let w = selective_stream(t, 30);
+        let a = run_none(&db, &w);
+        let b = Experiment::new(&db, &w).run();
+        assert_eq!(a.samples, b.samples);
+        let c =
+            run_colt(&db, &w, ColtConfig { storage_budget_pages: 100_000, ..Default::default() });
+        let d = run_colt_budget(&db, &w, 100_000);
+        assert_eq!(c.samples, d.samples);
+        let e = run_offline(&db, &w, &w, 100_000);
+        assert_eq!(e.policy.label(), "OFFLINE");
+        let f = run_colt_with_strategy(
+            &db,
+            &w,
+            ColtConfig { storage_budget_pages: 100_000, ..Default::default() },
+            MaterializationStrategy::Immediate,
+        );
+        assert_eq!(f.samples, d.samples);
     }
 }

@@ -18,11 +18,13 @@
 pub mod btree;
 pub mod heap;
 pub mod page;
+pub mod prng;
 pub mod row;
 pub mod value;
 
 pub use btree::{BPlusTree, BPlusTreeOf, CompositeBPlusTree, ScanControl, TreeKey};
 pub use heap::HeapTable;
 pub use page::{pages_for, tuples_per_page, CostParams, IoStats, PAGE_SIZE};
+pub use prng::Prng;
 pub use row::{row_from, Row, RowId};
 pub use value::{Value, ValueType};

@@ -7,7 +7,6 @@
 //! `random_page_cost` split, so that index scans are only attractive for
 //! selective predicates — the behaviour COLT's profiling must discover.
 
-use serde::{Deserialize, Serialize};
 
 /// Size of a page in bytes (PostgreSQL default).
 pub const PAGE_SIZE: usize = 8192;
@@ -34,7 +33,7 @@ pub fn pages_for(rows: usize, row_width: usize) -> usize {
 /// These are *actual* counts observed during execution, as opposed to the
 /// optimizer's estimates; the gap between the two is the realistic
 /// estimation noise COLT has to tolerate.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IoStats {
     /// Pages read in sequential order (heap scans, index leaf chains).
     pub seq_pages: u64,
@@ -101,7 +100,7 @@ impl std::ops::Sub for IoStats {
 /// Cost-model constants used to turn [`IoStats`] into simulated
 /// milliseconds. Values follow PostgreSQL's defaults, scaled so one
 /// sequential page read costs one cost unit = 0.1 simulated ms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Cost of reading one page sequentially.
     pub seq_page_cost: f64,

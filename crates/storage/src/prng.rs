@@ -1,0 +1,166 @@
+//! A tiny deterministic PRNG (SplitMix64) shared by every layer of the
+//! reproduction: data generation, workload sampling, COLT's internal
+//! profiling decisions, and the multi-client interleaver.
+//!
+//! Keeping the generator self-contained (no third-party `rand`) makes
+//! every experiment bit-reproducible from its seed and lets the whole
+//! workspace build with no registry access.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `u64` in `[0, n)`; `n` must be positive.
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `i64` in the inclusive range `[lo, hi]`.
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add((self.next_u64() % span.wrapping_add(1).max(1)) as i64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`; returns `lo` for empty ranges.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Prng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Prng::new(7);
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0));
+        assert!(!r.chance(0.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn chance_roughly_calibrated() {
+        let mut r = Prng::new(99);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Prng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn int_range_inclusive_bounds() {
+        let mut r = Prng::new(11);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = r.int_range(-3, 3);
+            assert!((-3..=3).contains(&x));
+            seen_lo |= x == -3;
+            seen_hi |= x == 3;
+        }
+        assert!(seen_lo && seen_hi);
+        assert_eq!(r.int_range(5, 5), 5);
+    }
+
+    #[test]
+    fn f64_range_bounds() {
+        let mut r = Prng::new(13);
+        for _ in 0..10_000 {
+            let x = r.f64_range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+        assert_eq!(r.f64_range(3.0, 3.0), 3.0);
+        assert_eq!(r.f64_range(3.0, 1.0), 3.0);
+    }
+}

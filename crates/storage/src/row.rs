@@ -1,11 +1,10 @@
 //! Rows and row identifiers.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a row inside a single heap table: its position in the
 /// heap. Stable because the reproduction's tables are append-only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowId(pub u32);
 
 impl RowId {

@@ -8,12 +8,11 @@
 //! and be compared by range predicates. Values of different types order by
 //! their type tag; floats use IEEE total ordering via `f64::total_cmp`.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// 64-bit signed integer.
     Int,
@@ -52,7 +51,7 @@ impl fmt::Display for ValueType {
 }
 
 /// A single scalar value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),

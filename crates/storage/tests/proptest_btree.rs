@@ -1,13 +1,16 @@
-//! Property-based tests: the B+ tree must agree with a sorted-vector
-//! reference model for every lookup and range scan, and must keep its
-//! structural invariants under arbitrary insert sequences.
+//! Randomized property tests: the B+ tree must agree with a
+//! sorted-vector reference model for every lookup and range scan, and
+//! must keep its structural invariants under arbitrary insert
+//! sequences. Cases are generated from the in-repo seeded PRNG, so
+//! every run checks the same inputs.
 
 use colt_storage::page::IoStats;
 use colt_storage::row::RowId;
 use colt_storage::value::Value;
-use colt_storage::BPlusTree;
-use proptest::prelude::*;
+use colt_storage::{BPlusTree, Prng};
 use std::ops::Bound;
+
+const CASES: u64 = 64;
 
 fn reference_range(model: &[(i64, u32)], lo: Bound<i64>, hi: Bound<i64>) -> Vec<RowId> {
     let in_lo = |k: i64| match lo {
@@ -34,83 +37,92 @@ fn map_bound(b: Bound<i64>) -> Bound<Value> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random deduplicated (key, rowid) pairs.
+fn entries(rng: &mut Prng, max_len: usize, key_hi: i64, row_hi: u32) -> Vec<(i64, u32)> {
+    let len = rng.below(max_len + 1);
+    let mut out: Vec<(i64, u32)> = (0..len)
+        .map(|_| (rng.int_range(0, key_hi - 1), rng.below_u64(row_hi as u64) as u32))
+        .collect();
+    // Deduplicate exact pairs: indexes never hold the same
+    // (value, rowid) twice.
+    out.sort_unstable();
+    out.dedup();
+    out
+}
 
-    /// Insert arbitrary (key, rowid) pairs; every point lookup agrees
-    /// with the reference model and invariants hold.
-    #[test]
-    fn lookups_match_reference(
-        entries in prop::collection::vec((0i64..200, 0u32..10_000), 0..600),
-        probes in prop::collection::vec(0i64..220, 0..40),
-    ) {
-        // Deduplicate exact pairs: indexes never hold the same
-        // (value, rowid) twice.
-        let mut entries = entries;
-        entries.sort_unstable();
-        entries.dedup();
+/// Insert arbitrary (key, rowid) pairs; every point lookup agrees with
+/// the reference model and invariants hold.
+#[test]
+fn lookups_match_reference() {
+    let mut rng = Prng::new(0xB7EE_0001);
+    for case in 0..CASES {
+        let entries = entries(&mut rng, 600, 200, 10_000);
+        let probes: Vec<i64> =
+            (0..rng.below(40)).map(|_| rng.int_range(0, 219)).collect();
 
         let mut tree = BPlusTree::with_order(8);
         // Insert in a scrambled order to stress splits.
-        let scrambled: Vec<_> = entries
+        let mut by_slot: Vec<_> = entries
             .iter()
             .enumerate()
             .map(|(i, e)| (i.wrapping_mul(2654435761) % entries.len().max(1), e))
             .collect();
-        let mut by_slot = scrambled;
         by_slot.sort_by_key(|(slot, _)| *slot);
         for (_, &(k, r)) in by_slot {
             tree.insert(Value::Int(k), RowId(r));
         }
         tree.check_invariants();
-        prop_assert_eq!(tree.len(), entries.len());
+        assert_eq!(tree.len(), entries.len(), "case {case}");
 
         for p in probes {
             let mut io = IoStats::new();
             let mut got = tree.lookup(&Value::Int(p), &mut io);
             got.sort();
             let want = reference_range(&entries, Bound::Included(p), Bound::Included(p));
-            prop_assert_eq!(got, want, "probe {}", p);
+            assert_eq!(got, want, "case {case} probe {p}");
         }
     }
+}
 
-    /// Range scans with arbitrary bound shapes agree with the model.
-    #[test]
-    fn ranges_match_reference(
-        entries in prop::collection::vec((0i64..500, 0u32..100_000), 0..800),
-        lo in 0i64..520,
-        hi in 0i64..520,
-        lo_kind in 0u8..3,
-        hi_kind in 0u8..3,
-    ) {
-        let mut entries = entries;
-        entries.sort_unstable();
-        entries.dedup();
+/// Range scans with arbitrary bound shapes agree with the model.
+#[test]
+fn ranges_match_reference() {
+    let mut rng = Prng::new(0xB7EE_0002);
+    for case in 0..CASES {
+        let entries = entries(&mut rng, 800, 500, 100_000);
+        let lo = rng.int_range(0, 519);
+        let hi = rng.int_range(0, 519);
+        let lo_b = match rng.below(3) {
+            0 => Bound::Included(lo),
+            1 => Bound::Excluded(lo),
+            _ => Bound::Unbounded,
+        };
+        let hi_b = match rng.below(3) {
+            0 => Bound::Included(hi),
+            1 => Bound::Excluded(hi),
+            _ => Bound::Unbounded,
+        };
         let tree = BPlusTree::bulk_load(
             8,
             entries.iter().map(|&(k, r)| (Value::Int(k), RowId(r))).collect(),
         );
         tree.check_invariants();
 
-        let lo_b = match lo_kind { 0 => Bound::Included(lo), 1 => Bound::Excluded(lo), _ => Bound::Unbounded };
-        let hi_b = match hi_kind { 0 => Bound::Included(hi), 1 => Bound::Excluded(hi), _ => Bound::Unbounded };
-
         let mut io = IoStats::new();
         let mut got = tree.range(map_bound(lo_b), map_bound(hi_b), &mut io);
         got.sort();
         let mut want = reference_range(&entries, lo_b, hi_b);
         want.sort();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Bulk load and incremental insert build equivalent trees.
-    #[test]
-    fn bulk_equals_incremental(
-        entries in prop::collection::vec((0i64..300, 0u32..1_000), 0..500),
-    ) {
-        let mut entries = entries;
-        entries.sort_unstable();
-        entries.dedup();
+/// Bulk load and incremental insert build equivalent trees.
+#[test]
+fn bulk_equals_incremental() {
+    let mut rng = Prng::new(0xB7EE_0003);
+    for case in 0..CASES {
+        let entries = entries(&mut rng, 500, 300, 1_000);
         let pairs: Vec<_> = entries.iter().map(|&(k, r)| (Value::Int(k), RowId(r))).collect();
         let bulk = BPlusTree::bulk_load(8, pairs.clone());
         let mut incr = BPlusTree::new(8);
@@ -121,22 +133,29 @@ proptest! {
         incr.check_invariants();
         let a: Vec<_> = bulk.iter().map(|(k, r)| (k.clone(), r)).collect();
         let b: Vec<_> = incr.iter().map(|(k, r)| (k.clone(), r)).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// I/O charging is sane: descent cost equals tree height and long
-    /// scans charge at least one page per full leaf traversed.
-    #[test]
-    fn io_charging_bounds(n in 1usize..5000) {
+/// I/O charging is sane: descent cost equals tree height and long scans
+/// charge at least one page per full leaf traversed.
+#[test]
+fn io_charging_bounds() {
+    let mut rng = Prng::new(0xB7EE_0004);
+    for case in 0..CASES {
+        let n = 1 + rng.below(4999);
         let entries: Vec<_> = (0..n).map(|i| (Value::Int(i as i64), RowId(i as u32))).collect();
         let tree = BPlusTree::bulk_load(8, entries);
         let mut io = IoStats::new();
         tree.lookup(&Value::Int((n / 2) as i64), &mut io);
-        prop_assert_eq!(io.random_pages, tree.height() as u64);
+        assert_eq!(io.random_pages, tree.height() as u64, "case {case}");
 
         let mut io = IoStats::new();
         let all = tree.range(Bound::Unbounded, Bound::Unbounded, &mut io);
-        prop_assert_eq!(all.len(), n);
-        prop_assert!(io.seq_pages as usize + 1 >= tree.page_count().saturating_sub(tree.height() * 2));
+        assert_eq!(all.len(), n, "case {case}");
+        assert!(
+            io.seq_pages as usize + 1 >= tree.page_count().saturating_sub(tree.height() * 2),
+            "case {case}"
+        );
     }
 }

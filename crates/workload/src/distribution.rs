@@ -9,9 +9,7 @@
 
 use colt_catalog::{ColRef, ColumnStats, Database};
 use colt_engine::{JoinPred, Query, SelPred};
-use colt_storage::Value;
-use rand::rngs::StdRng;
-use rand::Rng;
+use colt_storage::{Prng, Value};
 
 /// How a template restricts one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +53,7 @@ impl QueryTemplate {
     }
 
     /// Instantiate a concrete query.
-    pub fn sample(&self, db: &Database, rng: &mut StdRng) -> Query {
+    pub fn sample(&self, db: &Database, rng: &mut Prng) -> Query {
         let selections = self
             .selections
             .iter()
@@ -64,8 +62,8 @@ impl QueryTemplate {
                 match &ts.spec {
                     SelSpec::Eq => SelPred::eq(ts.col, sample_domain_value(stats, rng)),
                     SelSpec::RangeFrac { lo_frac, hi_frac } => {
-                        let f = rng.gen_range(*lo_frac..=*hi_frac).clamp(0.0, 1.0);
-                        let q0 = rng.gen_range(0.0..=(1.0 - f).max(0.0));
+                        let f = rng.f64_range(*lo_frac, *hi_frac).clamp(0.0, 1.0);
+                        let q0 = rng.f64_range(0.0, (1.0 - f).max(0.0));
                         let lo = quantile(stats, q0);
                         let hi = quantile(stats, (q0 + f).min(1.0));
                         SelPred::between(ts.col, lo, hi)
@@ -80,15 +78,15 @@ impl QueryTemplate {
 /// A uniform value from the column's observed domain (integer-like
 /// columns sample uniformly in `[min, max]`; other types pick an
 /// existing histogram boundary).
-fn sample_domain_value(stats: &ColumnStats, rng: &mut StdRng) -> Value {
+fn sample_domain_value(stats: &ColumnStats, rng: &mut Prng) -> Value {
     match (&stats.min, &stats.max) {
-        (Some(Value::Int(lo)), Some(Value::Int(hi))) => Value::Int(rng.gen_range(*lo..=*hi)),
-        (Some(Value::Date(lo)), Some(Value::Date(hi))) => Value::Date(rng.gen_range(*lo..=*hi)),
+        (Some(Value::Int(lo)), Some(Value::Int(hi))) => Value::Int(rng.int_range(*lo, *hi)),
+        (Some(Value::Date(lo)), Some(Value::Date(hi))) => Value::Date(rng.int_range(*lo as i64, *hi as i64) as i32),
         _ => {
             if stats.bounds.is_empty() {
                 Value::Int(0)
             } else {
-                stats.bounds[rng.gen_range(0..stats.bounds.len())].clone()
+                stats.bounds[rng.below(stats.bounds.len())].clone()
             }
         }
     }
@@ -162,9 +160,9 @@ impl QueryDistribution {
     }
 
     /// Sample one query.
-    pub fn sample(&self, db: &Database, rng: &mut StdRng) -> Query {
+    pub fn sample(&self, db: &Database, rng: &mut Prng) -> Query {
         assert!(!self.templates.is_empty(), "cannot sample an empty distribution");
-        let mut pick = rng.gen_range(0.0..self.total_weight);
+        let mut pick = rng.f64_range(0.0, self.total_weight);
         for (w, t) in &self.templates {
             if pick < *w {
                 return t.sample(db, rng);
@@ -194,7 +192,6 @@ mod tests {
     use colt_catalog::{Column, TableSchema};
     use colt_engine::selectivity::predicate_selectivity;
     use colt_storage::{row_from, ValueType};
-    use rand::SeedableRng;
 
     fn db() -> (Database, colt_catalog::TableId) {
         let mut db = Database::new();
@@ -233,7 +230,7 @@ mod tests {
             t,
             vec![TemplateSelection { col, spec: SelSpec::RangeFrac { lo_frac: 0.01, hi_frac: 0.01 } }],
         );
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::new(3);
         for _ in 0..20 {
             let q = tpl.sample(&db, &mut rng);
             let sel = predicate_selectivity(&db, &q.selections[0]);
@@ -247,7 +244,7 @@ mod tests {
         let col = ColRef::new(t, 1);
         let tpl =
             QueryTemplate::single(t, vec![TemplateSelection { col, spec: SelSpec::Eq }]);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::new(3);
         for _ in 0..20 {
             let q = tpl.sample(&db, &mut rng);
             let colt_engine::PredicateKind::Eq(Value::Date(d)) = &q.selections[0].kind else {
@@ -266,7 +263,7 @@ mod tests {
             .with(1.0, QueryTemplate::single(t, vec![TemplateSelection { col: c0, spec: SelSpec::Eq }]))
             .with(1.0, QueryTemplate::single(t, vec![TemplateSelection { col: c1, spec: SelSpec::Eq }]));
         assert_eq!(dist.relevant_columns(), vec![c0, c1]);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Prng::new(5);
         let mut seen = [false, false];
         for _ in 0..100 {
             let q = dist.sample(&db, &mut rng);
@@ -286,8 +283,8 @@ mod tests {
                 vec![TemplateSelection { col, spec: SelSpec::RangeFrac { lo_frac: 0.01, hi_frac: 0.1 } }],
             ),
         );
-        let mut a = StdRng::seed_from_u64(9);
-        let mut b = StdRng::seed_from_u64(9);
+        let mut a = Prng::new(9);
+        let mut b = Prng::new(9);
         for _ in 0..10 {
             assert_eq!(dist.sample(&db, &mut a), dist.sample(&db, &mut b));
         }

@@ -1,8 +1,7 @@
 //! Column value generators for synthetic data.
 
 use colt_storage::Value;
-use rand::rngs::StdRng;
-use rand::Rng;
+use colt_storage::Prng;
 
 /// How the values of one column are generated.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,21 +58,21 @@ pub enum ColumnGen {
 
 impl ColumnGen {
     /// Generate the value for row `row` of a table with `rows` rows.
-    pub fn generate(&self, row: u64, _rows: u64, rng: &mut StdRng) -> Value {
+    pub fn generate(&self, row: u64, _rows: u64, rng: &mut Prng) -> Value {
         match self {
             ColumnGen::Key => Value::Int(row as i64),
             ColumnGen::ForeignKey { target_rows } => {
-                Value::Int(rng.gen_range(0..(*target_rows).max(1)) as i64)
+                Value::Int(rng.below_u64((*target_rows).max(1)) as i64)
             }
-            ColumnGen::IntUniform { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
-            ColumnGen::Choice { choices } => Value::Int(rng.gen_range(0..(*choices).max(1)) as i64),
+            ColumnGen::IntUniform { lo, hi } => Value::Int(rng.int_range(*lo, *hi)),
+            ColumnGen::Choice { choices } => Value::Int(rng.below_u64((*choices).max(1)) as i64),
             ColumnGen::FloatUniform { lo, hi } => {
-                let v: f64 = rng.gen_range(*lo..*hi);
+                let v: f64 = rng.f64_range(*lo, *hi);
                 Value::Float((v * 100.0).round() / 100.0)
             }
-            ColumnGen::DateUniform { lo, hi } => Value::Date(rng.gen_range(*lo..=*hi)),
+            ColumnGen::DateUniform { lo, hi } => Value::Date(rng.int_range(*lo as i64, *hi as i64) as i32),
             ColumnGen::StrPool { pool } => {
-                let k = rng.gen_range(0..(*pool).max(1));
+                let k = rng.below_u64((*pool).max(1));
                 Value::Str(format!("s{k:08}"))
             }
             ColumnGen::Zipf { n, s } => Value::Int(zipf_sample(*n, *s, rng)),
@@ -114,11 +113,11 @@ impl ColumnGen {
 /// generalized harmonic numbers (O(log n) per draw after an O(n) table
 /// would be ideal; for generation-time use the direct rejection-free
 /// partial-sum walk is fine at our domain sizes).
-fn zipf_sample(n: u64, s: f64, rng: &mut StdRng) -> i64 {
+fn zipf_sample(n: u64, s: f64, rng: &mut Prng) -> i64 {
     let n = n.max(1);
     // Normalization constant H_{n,s}.
     let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
-    let target: f64 = rng.gen_range(0.0..h);
+    let target: f64 = rng.f64_range(0.0, h);
     let mut acc = 0.0;
     for k in 1..=n {
         acc += 1.0 / (k as f64).powf(s);
@@ -132,10 +131,8 @@ fn zipf_sample(n: u64, s: f64, rng: &mut StdRng) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> Prng {
+        Prng::new(1)
     }
 
     #[test]

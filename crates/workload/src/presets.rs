@@ -19,8 +19,7 @@ use crate::tpch::TpchData;
 use crate::workload::{self, NoisePlan};
 use colt_catalog::{ColRef, Database};
 use colt_engine::{JoinPred, Query};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use colt_storage::Prng;
 
 /// A generated experiment workload.
 #[derive(Debug, Clone)]
@@ -132,7 +131,7 @@ pub fn budget_fraction(db: &Database, relevant: &[ColRef], denominator: u64) -> 
 /// Stable workload (Figure 3): 500 queries from one fixed distribution.
 pub fn stable(data: &TpchData, seed: u64) -> Preset {
     let dist = stable_distribution(data, 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let queries = workload::fixed(&dist, 500, &data.db, &mut rng);
     let relevant = dist.relevant_columns();
     let budget_pages = budget_for(&data.db, &relevant);
@@ -204,7 +203,7 @@ pub fn shifting(data: &TpchData, seed: u64) -> Preset {
         }
         dists.push(d);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let queries = workload::phased(&dists, 300, 50, &data.db, &mut rng);
     let mut relevant: Vec<ColRef> = dists.iter().flat_map(|d| d.relevant_columns()).collect();
     relevant.sort_unstable();
@@ -225,7 +224,7 @@ pub fn noisy(data: &TpchData, burst_len: usize, seed: u64) -> (Preset, NoisePlan
         "Q1 and Q2 optimal sets must be disjoint"
     );
     let plan = NoisePlan::paper(burst_len);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let queries = workload::with_noise(&q1, &q2, &plan, &data.db, &mut rng);
     let mut relevant = q1.relevant_columns();
     relevant.extend(q2.relevant_columns());

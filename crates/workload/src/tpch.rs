@@ -18,8 +18,7 @@
 use crate::gen::ColumnGen;
 use colt_catalog::{ColRef, Column, Database, TableId, TableSchema};
 use colt_storage::{row_from, ValueType};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use colt_storage::Prng;
 
 /// The paper's experiment scale relative to Table 1 (1/40).
 pub const DEFAULT_SCALE: f64 = 0.025;
@@ -211,7 +210,7 @@ pub const INSTANCES: usize = 4;
 pub fn generate(scale: f64, seed: u64) -> TpchData {
     let mut db = Database::new();
     let mut instances = Vec::with_capacity(INSTANCES);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     for inst in 0..INSTANCES {
         let mut tables = Vec::new();
         for def in table_defs(scale) {

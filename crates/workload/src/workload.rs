@@ -5,11 +5,10 @@
 use crate::distribution::QueryDistribution;
 use colt_catalog::Database;
 use colt_engine::Query;
-use rand::rngs::StdRng;
-use rand::Rng;
+use colt_storage::Prng;
 
 /// `n` queries from one distribution.
-pub fn fixed(dist: &QueryDistribution, n: usize, db: &Database, rng: &mut StdRng) -> Vec<Query> {
+pub fn fixed(dist: &QueryDistribution, n: usize, db: &Database, rng: &mut Prng) -> Vec<Query> {
     (0..n).map(|_| dist.sample(db, rng)).collect()
 }
 
@@ -25,7 +24,7 @@ pub fn phased(
     phase_len: usize,
     transition_len: usize,
     db: &Database,
-    rng: &mut StdRng,
+    rng: &mut Prng,
 ) -> Vec<Query> {
     assert!(!dists.is_empty(), "need at least one phase");
     let mut out = Vec::with_capacity(dists.len() * phase_len + dists.len().saturating_sub(1) * transition_len);
@@ -34,7 +33,7 @@ pub fn phased(
         if let Some(next) = dists.get(i + 1) {
             for k in 0..transition_len {
                 let p_next = (k + 1) as f64 / (transition_len + 1) as f64;
-                let pick = if rng.gen_bool(p_next) { next } else { dist };
+                let pick = if rng.chance(p_next) { next } else { dist };
                 out.push(pick.sample(db, rng));
             }
         }
@@ -108,7 +107,7 @@ pub fn with_noise(
     q2: &QueryDistribution,
     plan: &NoisePlan,
     db: &Database,
-    rng: &mut StdRng,
+    rng: &mut Prng,
 ) -> Vec<Query> {
     (0..plan.total)
         .map(|i| if plan.is_noise(i) { q2.sample(db, rng) } else { q1.sample(db, rng) })
@@ -121,7 +120,6 @@ mod tests {
     use crate::distribution::{QueryTemplate, SelSpec, TemplateSelection};
     use colt_catalog::{ColRef, Column, TableSchema};
     use colt_storage::{row_from, Value, ValueType};
-    use rand::SeedableRng;
 
     fn setup() -> (Database, QueryDistribution, QueryDistribution) {
         let mut db = Database::new();
@@ -146,7 +144,7 @@ mod tests {
     #[test]
     fn fixed_length() {
         let (db, d1, _) = setup();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::new(1);
         assert_eq!(fixed(&d1, 57, &db, &mut rng).len(), 57);
     }
 
@@ -154,7 +152,7 @@ mod tests {
     fn phased_total_matches_paper() {
         let (db, d1, d2) = setup();
         let dists = vec![d1.clone(), d2.clone(), d1, d2];
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::new(1);
         let w = phased(&dists, 300, 50, &db, &mut rng);
         assert_eq!(w.len(), 1350);
         assert_eq!(phase_boundaries(4, 300, 50), vec![300, 650, 1000]);
@@ -163,7 +161,7 @@ mod tests {
     #[test]
     fn transition_mixes_gradually() {
         let (db, d1, d2) = setup();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Prng::new(2);
         let w = phased(&[d1, d2], 300, 50, &db, &mut rng);
         assert_eq!(w.len(), 650);
         // Pure phase 1: all queries on column 0.
@@ -197,7 +195,7 @@ mod tests {
     fn noise_injection_matches_plan() {
         let (db, d1, d2) = setup();
         let plan = NoisePlan::paper(40);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::new(3);
         let w = with_noise(&d1, &d2, &plan, &db, &mut rng);
         assert_eq!(w.len(), plan.total);
         for (i, q) in w.iter().enumerate() {

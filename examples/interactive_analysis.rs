@@ -10,8 +10,7 @@
 
 use colt_repro::prelude::*;
 use colt_repro::workload::{QueryDistribution, QueryTemplate, SelSpec, TemplateSelection};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use colt_repro::storage::Prng;
 
 fn main() {
     // The four-instance TPC-H data set at a small scale.
@@ -67,7 +66,7 @@ fn main() {
     let mut physical = PhysicalConfig::new();
     let mut tuner = ColtTuner::new(ColtConfig { storage_budget_pages: 3_000, ..Default::default() });
     let mut eqo = Eqo::new(db);
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Prng::new(99);
 
     for (title, dist) in &hypotheses {
         println!("== {title}");

@@ -6,8 +6,7 @@
 
 use colt_repro::prelude::*;
 use colt_repro::workload::{QueryDistribution, QueryTemplate, SelSpec, TemplateSelection};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use colt_repro::storage::Prng;
 
 fn main() {
     let data = generate(0.01, 7);
@@ -34,7 +33,7 @@ fn main() {
     let mut physical = PhysicalConfig::new();
     let mut tuner = ColtTuner::new(ColtConfig { storage_budget_pages: 5_000, ..Default::default() });
     let mut eqo = Eqo::new(db);
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Prng::new(3);
 
     for i in 0..400usize {
         let dist = if i < 200 { &phase_a } else { &phase_b };

@@ -5,7 +5,7 @@
 //! scale and drives complete optimizer→executor→tuner runs.
 
 use colt_repro::colt::ColtConfig;
-use colt_repro::harness::{run_colt, run_none, run_offline, time_ratio};
+use colt_repro::harness::{time_ratio, Experiment, Policy};
 use colt_repro::workload::{generate, presets};
 
 const SCALE: f64 = 0.01;
@@ -17,12 +17,15 @@ const SEED: u64 = 42;
 fn stable_workload_converges_to_offline() {
     let data = generate(SCALE, SEED);
     let preset = presets::stable(&data, SEED);
-    let offline = run_offline(&data.db, &preset.queries, &preset.queries, preset.budget_pages);
-    let colt = run_colt(
-        &data.db,
-        &preset.queries,
-        ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() },
-    );
+    let offline = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::Offline { budget_pages: preset.budget_pages })
+        .run();
+    let colt = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: preset.budget_pages,
+            ..Default::default()
+        }))
+        .run();
 
     // After the first 100 queries, COLT tracks OFFLINE closely.
     let tail = 100..preset.queries.len();
@@ -38,7 +41,7 @@ fn stable_workload_converges_to_offline() {
     // COLT must also clearly beat doing nothing. (At this reduced test
     // scale many queries hit tiny floor-sized tables where no index can
     // help, so the achievable margin is smaller than at bench scale.)
-    let none = run_none(&data.db, &preset.queries);
+    let none = Experiment::new(&data.db, &preset.queries).run();
     assert!(
         colt.total_millis() < 0.9 * none.total_millis(),
         "COLT {:.0} vs no tuning {:.0}",
@@ -57,12 +60,15 @@ fn stable_workload_converges_to_offline() {
 fn shifting_workload_beats_offline() {
     let data = generate(SCALE, SEED);
     let preset = presets::shifting(&data, SEED);
-    let offline = run_offline(&data.db, &preset.queries, &preset.queries, preset.budget_pages);
-    let colt = run_colt(
-        &data.db,
-        &preset.queries,
-        ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() },
-    );
+    let offline = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::Offline { budget_pages: preset.budget_pages })
+        .run();
+    let colt = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: preset.budget_pages,
+            ..Default::default()
+        }))
+        .run();
 
     let reduction = 1.0 - colt.total_millis() / offline.total_millis();
     assert!(
@@ -94,7 +100,7 @@ fn whatif_overhead_self_regulates() {
     let cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
     let epoch_len = cfg.epoch_length;
     let max_budget = cfg.max_whatif_per_epoch;
-    let colt = run_colt(&data.db, &preset.queries, cfg);
+    let colt = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run();
     let series = colt.trace.whatif_per_epoch();
 
     // Budget respected everywhere.
@@ -148,12 +154,16 @@ fn short_noise_bursts_are_ignored() {
         .filter(|(i, _)| !plan.is_noise(*i))
         .map(|(_, q)| q.clone())
         .collect();
-    let offline = run_offline(&data.db, &preset.queries, &q1_only, preset.budget_pages);
-    let colt = run_colt(
-        &data.db,
-        &preset.queries,
-        ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() },
-    );
+    let offline = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::Offline { budget_pages: preset.budget_pages })
+        .analyzed(&q1_only)
+        .run();
+    let colt = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: preset.budget_pages,
+            ..Default::default()
+        }))
+        .run();
     let ratio = time_ratio(&colt, &offline, plan.warmup);
     assert!(
         ratio < 1.08,
@@ -172,8 +182,10 @@ fn self_regulation_saves_whatif_calls() {
     let queries = &preset.queries[..700];
     let base = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
 
-    let regulated = run_colt(&data.db, queries, base.clone());
-    let fixed = run_colt(&data.db, queries, ColtConfig { self_regulation: false, ..base });
+    let regulated = Experiment::new(&data.db, queries).policy(Policy::colt(base.clone())).run();
+    let fixed = Experiment::new(&data.db, queries)
+        .policy(Policy::colt(ColtConfig { self_regulation: false, ..base }))
+        .run();
 
     assert!(
         (regulated.trace.total_whatif() as f64) < 0.85 * fixed.trace.total_whatif() as f64,
@@ -197,8 +209,8 @@ fn runs_are_deterministic() {
     let preset = presets::stable(&data, 7);
     let queries = &preset.queries[..150];
     let cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
-    let a = run_colt(&data.db, queries, cfg.clone());
-    let b = run_colt(&data.db, queries, cfg);
+    let a = Experiment::new(&data.db, queries).policy(Policy::colt(cfg.clone())).run();
+    let b = Experiment::new(&data.db, queries).policy(Policy::colt(cfg)).run();
     assert_eq!(a.total_millis(), b.total_millis());
     assert_eq!(a.final_indices, b.final_indices);
     assert_eq!(a.trace.whatif_per_epoch(), b.trace.whatif_per_epoch());
@@ -214,12 +226,15 @@ fn multiuser_shifting_still_wins() {
     let preset = presets::shifting(&data, SEED);
     let streams = split_round_robin(&preset.queries, 4);
     let merged = interleave(&streams, SEED);
-    let offline = run_offline(&data.db, &merged, &merged, preset.budget_pages);
-    let colt = run_colt(
-        &data.db,
-        &merged,
-        ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() },
-    );
+    let offline = Experiment::new(&data.db, &merged)
+        .policy(Policy::Offline { budget_pages: preset.budget_pages })
+        .run();
+    let colt = Experiment::new(&data.db, &merged)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: preset.budget_pages,
+            ..Default::default()
+        }))
+        .run();
     let reduction = 1.0 - colt.total_millis() / offline.total_millis();
     assert!(reduction > 0.05, "multi-user reduction {:.1}%", reduction * 100.0);
 }
@@ -230,9 +245,6 @@ fn multiuser_shifting_still_wins() {
 #[test]
 fn composite_extension_beats_single_column_colt() {
     use colt_repro::workload::{fixed, QueryDistribution, QueryTemplate, SelSpec, TemplateSelection};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     let data = generate(SCALE, SEED);
     let db = &data.db;
     let inst = &data.instances[0];
@@ -247,15 +259,19 @@ fn composite_extension_beats_single_column_colt() {
             ],
         ),
     );
-    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rng = colt_repro::storage::Prng::new(SEED);
     let workload = fixed(&dist, 200, db, &mut rng);
 
-    let plain = run_colt(db, &workload, ColtConfig { storage_budget_pages: 4_096, ..Default::default() });
-    let extended = run_colt(
-        db,
-        &workload,
-        ColtConfig { storage_budget_pages: 4_096, composite_budget_pages: 4_096, ..Default::default() },
-    );
+    let plain = Experiment::new(db, &workload)
+        .policy(Policy::colt(ColtConfig { storage_budget_pages: 4_096, ..Default::default() }))
+        .run();
+    let extended = Experiment::new(db, &workload)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: 4_096,
+            composite_budget_pages: 4_096,
+            ..Default::default()
+        }))
+        .run();
     assert!(
         extended.total_millis() < plain.total_millis() / 2.0,
         "extension {:.0} vs plain {:.0}",

@@ -6,9 +6,8 @@
 use colt_repro::catalog::{IndexOrigin, PhysicalConfig};
 use colt_repro::engine::{Eqo, Executor, IndexSetView, Optimizer, Query, SelPred};
 use colt_repro::storage::Value;
+use colt_repro::storage::Prng;
 use colt_repro::workload::{generate, presets, stable_distribution};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Every workload query answers identically with and without indexes.
 #[test]
@@ -16,7 +15,7 @@ fn all_access_paths_agree_on_tpch() {
     let data = generate(0.004, 3);
     let db = &data.db;
     let dist = stable_distribution(&data, 0);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Prng::new(5);
 
     // Index every column the distribution restricts.
     let mut indexed = PhysicalConfig::new();
@@ -50,7 +49,7 @@ fn estimates_track_actual_costs() {
     let data = generate(0.004, 3);
     let db = &data.db;
     let dist = stable_distribution(&data, 0);
-    let mut rng = StdRng::seed_from_u64(6);
+    let mut rng = Prng::new(6);
     let cfg = PhysicalConfig::new();
     let opt = Optimizer::new(db);
 

@@ -1,0 +1,95 @@
+//! The parallel harness must be an *observationally pure* speedup: for
+//! any thread count, every cell's per-query [`QuerySample`] stream and
+//! rendered summary must be byte-identical to the single-threaded run.
+//! This is the determinism contract behind the figure binaries, which
+//! fan their run cells across threads but still diff cleanly run-to-run.
+
+use colt_repro::colt::ColtConfig;
+use colt_repro::harness::{run_cells, Cell, Policy};
+use colt_repro::workload::{generate, presets};
+
+const SCALE: f64 = 0.004;
+const SEED: u64 = 42;
+
+/// A small figure-3-style batch: OFFLINE and COLT over the stable
+/// workload, plus an untuned baseline.
+fn cells<'a>(
+    data: &'a colt_repro::workload::TpchData,
+    preset: &'a colt_repro::workload::Preset,
+) -> Vec<Cell<'a>> {
+    vec![
+        Cell::new("NONE", &data.db, &preset.queries, Policy::None),
+        Cell::new(
+            "OFFLINE",
+            &data.db,
+            &preset.queries,
+            Policy::Offline { budget_pages: preset.budget_pages },
+        ),
+        Cell::new(
+            "COLT",
+            &data.db,
+            &preset.queries,
+            Policy::colt(ColtConfig {
+                storage_budget_pages: preset.budget_pages,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+/// Serial (1 thread) and parallel (2 and 4 threads) runs produce
+/// identical per-query samples, traces, and summaries for every cell.
+#[test]
+fn parallel_runs_are_serial_identical() {
+    let data = generate(SCALE, SEED);
+    let preset = presets::stable(&data, SEED);
+
+    let serial = run_cells(&cells(&data, &preset), 1);
+    for threads in [2usize, 4] {
+        let parallel = run_cells(&cells(&data, &preset), threads);
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        assert_eq!(parallel.threads, threads.min(serial.cells.len()));
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            // Submission order is preserved regardless of which worker
+            // finished first.
+            assert_eq!(s.label, p.label);
+            // The per-query sample stream is the strongest equivalence:
+            // simulated times, tuning charges, and row counts per query.
+            assert_eq!(s.result.samples, p.result.samples, "cell {}", s.label);
+            assert_eq!(s.result.final_indices, p.result.final_indices, "cell {}", s.label);
+            assert_eq!(
+                s.result.trace.whatif_per_epoch(),
+                p.result.trace.whatif_per_epoch(),
+                "cell {}",
+                s.label
+            );
+            // And the rendered summary is byte-identical.
+            assert_eq!(s.result.summary_json(), p.result.summary_json(), "cell {}", s.label);
+        }
+    }
+}
+
+/// The COLT cell keeps its headline behaviour when run through the
+/// parallel harness: it beats the untuned baseline and stays within the
+/// serial API's results.
+#[test]
+fn parallel_results_match_direct_experiment_api() {
+    use colt_repro::harness::Experiment;
+    let data = generate(SCALE, SEED);
+    let preset = presets::stable(&data, SEED);
+
+    let report = run_cells(&cells(&data, &preset), 4);
+    let direct_colt = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: preset.budget_pages,
+            ..Default::default()
+        }))
+        .run();
+
+    let colt = report.get("COLT").expect("COLT cell present");
+    assert_eq!(colt.samples, direct_colt.samples);
+    assert_eq!(colt.summary_json(), direct_colt.summary_json());
+
+    let none = report.get("NONE").expect("NONE cell present");
+    assert!(colt.total_millis() < none.total_millis());
+}
