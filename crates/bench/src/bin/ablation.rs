@@ -17,9 +17,9 @@
 //! Every variant is an independent run cell; the whole grid fans across
 //! the parallel harness.
 
-use colt_bench::{build_data, fmt_ms, seed, threads};
+use colt_bench::{build_data, dump_obs, fmt_ms, seed, threads};
 use colt_core::{ColtConfig, MaterializationStrategy};
-use colt_harness::{render_parallel_summary, run_cells, Cell, Policy};
+use colt_harness::{emit_parallel_summary, run_cells, Cell, Policy};
 use colt_workload::presets;
 
 fn variants(base: &ColtConfig) -> Vec<(&'static str, ColtConfig)> {
@@ -51,7 +51,7 @@ fn run_table(
             .map(|(name, cfg)| Cell::new(name, &data.db, &preset.queries, Policy::colt(cfg))),
     );
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary(&format!("Ablation cells — {title}"), &report));
+    emit_parallel_summary(&format!("Ablation cells — {title}"), &report);
 
     let offline = &report.cells[0].result;
     println!("  OFFLINE reference: {}", fmt_ms(offline.total_millis()));
@@ -92,7 +92,8 @@ fn scheduler_table(data: &colt_workload::TpchData, preset: &colt_workload::Prese
             })
             .collect();
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Scheduler cells", &report));
+    emit_parallel_summary("Scheduler cells", &report);
+    dump_obs(&report);
     for cell in &report.cells {
         let run = &cell.result;
         let build_ms: f64 = run.samples.iter().map(|s| s.tuning_millis).sum();

@@ -8,9 +8,9 @@
 //! extension mines the co-occurrence on-line and materializes the
 //! two-column index.
 
-use colt_bench::{build_data, fmt_ms, seed, threads};
+use colt_bench::{build_data, dump_obs, fmt_ms, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{render_parallel_summary, run_cells, Cell, Policy};
+use colt_harness::{emit_parallel_summary, run_cells, Cell, Policy};
 use colt_storage::Prng;
 use colt_workload::{fixed, QueryDistribution, QueryTemplate, SelSpec, TemplateSelection};
 
@@ -56,7 +56,8 @@ fn main() {
         ),
     ];
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Composite cells", &report));
+    emit_parallel_summary("Composite cells", &report);
+    dump_obs(&report);
     let none = report.get("no tuning").expect("baseline cell");
     let plain = report.get("COLT single-column").expect("plain cell");
     let extended = report.get("COLT composite").expect("extended cell");

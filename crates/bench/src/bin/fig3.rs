@@ -8,10 +8,10 @@
 //! * afterwards COLT's execution time is essentially equal to the ideal
 //!   OFFLINE technique (the paper reports a ~1% deviation).
 
-use colt_bench::{build_data, fmt_ms, seed, threads};
+use colt_bench::{build_data, dump_obs, fmt_ms, seed, threads};
 use colt_core::ColtConfig;
 use colt_harness::{
-    bucket_rows, render_buckets, render_parallel_summary, run_cells, Cell, Policy,
+    bucket_rows, emit_breakdown, emit_parallel_summary, render_buckets, run_cells, Cell, Policy,
 };
 use colt_workload::presets;
 
@@ -40,9 +40,12 @@ fn main() {
         ),
     ];
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Figure 3 cells", &report));
+    emit_parallel_summary("Figure 3 cells", &report);
     let offline = report.get("OFFLINE").expect("offline cell");
     let colt = report.get("COLT").expect("colt cell");
+    emit_breakdown("OFFLINE", offline);
+    emit_breakdown("COLT", colt);
+    dump_obs(&report);
 
     let rows = bucket_rows(colt, offline, 50);
     println!("{}", render_buckets("Execution time per 50-query bucket", &rows));

@@ -8,10 +8,10 @@
 //! * in phase 2 (queries 350–650) COLT is ~49% faster;
 //! * over the whole workload COLT is ~33% faster.
 
-use colt_bench::{build_data, fmt_ms, seed, threads};
+use colt_bench::{build_data, dump_obs, fmt_ms, seed, threads};
 use colt_core::ColtConfig;
 use colt_harness::{
-    bucket_rows, render_buckets, render_parallel_summary, run_cells, Cell, Policy,
+    bucket_rows, emit_parallel_summary, render_buckets, run_cells, Cell, Policy,
 };
 use colt_workload::presets;
 
@@ -40,7 +40,8 @@ fn main() {
         ),
     ];
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Figure 4 cells", &report));
+    emit_parallel_summary("Figure 4 cells", &report);
+    dump_obs(&report);
     let offline = report.get("OFFLINE").expect("offline cell");
     let colt = report.get("COLT").expect("colt cell");
 

@@ -15,9 +15,9 @@
 //! derives from run *results*, which are bit-identical at any thread
 //! count; wall-clock and speedup go to stderr.
 
-use colt_bench::{build_data, seed, threads};
+use colt_bench::{build_data, dump_obs, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{render_parallel_summary, render_whatif_series, run_cells, Cell, Policy};
+use colt_harness::{emit_parallel_summary, render_whatif_series, run_cells, Cell, Policy};
 use colt_workload::{phase_boundaries, presets};
 
 /// Replicated workload seeds: the primary plus three more.
@@ -49,7 +49,8 @@ fn main() {
         })
         .collect();
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Figure 5 cells", &report));
+    emit_parallel_summary("Figure 5 cells", &report);
+    dump_obs(&report);
 
     let colt = &report.cells[0].result;
     let series = colt.trace.whatif_per_epoch();

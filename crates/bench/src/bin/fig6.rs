@@ -16,9 +16,9 @@
 //! Each burst duration contributes two independent run cells (OFFLINE
 //! and COLT), all fanned across the parallel harness.
 
-use colt_bench::{build_data, seed, threads};
+use colt_bench::{build_data, dump_obs, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{render_parallel_summary, run_cells, time_ratio, Cell, Policy};
+use colt_harness::{emit_parallel_summary, run_cells, time_ratio, Cell, Policy};
 use colt_workload::presets;
 
 const BURSTS: [usize; 12] = [20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 140];
@@ -68,7 +68,8 @@ fn main() {
         })
         .collect();
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Figure 6 cells", &report));
+    emit_parallel_summary("Figure 6 cells", &report);
+    dump_obs(&report);
 
     let mut ratios = Vec::new();
     for (i, (burst, _, plan, _)) in setups.iter().enumerate() {

@@ -1,0 +1,57 @@
+//! Validate a `COLT_OBS_PATH` JSONL dump: every line must parse with the
+//! strict in-repo JSON parser (`colt_core::json`) and carry an `"event"`
+//! kind. CI runs this against the event stream `fig3` writes under
+//! `COLT_OBS=full` to guarantee the sink's output stays machine-readable.
+//!
+//! Usage: `obs_check <path.jsonl> [<path.prom>]`. Exits non-zero (with a
+//! diagnostic on stderr) on the first malformed line; prints a one-line
+//! summary on success.
+
+use colt_core::json::{parse, Json};
+
+fn fail(msg: String) -> ! {
+    eprintln!("obs_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jsonl_path = args.next().unwrap_or_else(|| fail("usage: obs_check <path.jsonl> [<path.prom>]".into()));
+    let text = std::fs::read_to_string(&jsonl_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {jsonl_path}: {e}")));
+
+    let mut events = 0usize;
+    let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse(line)
+            .unwrap_or_else(|e| fail(format!("{jsonl_path}:{}: not valid JSON: {e}", i + 1)));
+        let kind = v
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("{jsonl_path}:{}: missing \"event\" kind", i + 1)));
+        *kinds.entry(kind.to_string()).or_insert(0) += 1;
+        events += 1;
+    }
+    if events == 0 {
+        fail(format!("{jsonl_path}: no events (was the producer run with COLT_OBS=full?)"));
+    }
+
+    if let Some(prom_path) = args.next() {
+        let prom = std::fs::read_to_string(&prom_path)
+            .unwrap_or_else(|e| fail(format!("cannot read {prom_path}: {e}")));
+        let metrics = prom.lines().filter(|l| l.starts_with("colt_")).count();
+        if metrics == 0 {
+            fail(format!("{prom_path}: no colt_* metric lines"));
+        }
+        if !prom.lines().any(|l| l.starts_with("# TYPE colt_")) {
+            fail(format!("{prom_path}: no # TYPE declarations"));
+        }
+        eprintln!("obs_check: {prom_path}: {metrics} metric lines ok");
+    }
+
+    let summary: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}×{n}")).collect();
+    eprintln!("obs_check: {jsonl_path}: {events} events ok ({})", summary.join(", "));
+}

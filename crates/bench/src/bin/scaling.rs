@@ -8,9 +8,9 @@
 //! cells, all independent: each borrows its own scale's database and
 //! fans across the parallel harness.
 
-use colt_bench::{fmt_ms, seed, threads};
+use colt_bench::{dump_obs, fmt_ms, seed, threads};
 use colt_core::ColtConfig;
-use colt_harness::{convergence_point, render_parallel_summary, run_cells, Cell, Policy};
+use colt_harness::{convergence_point, emit_parallel_summary, run_cells, Cell, Policy};
 use colt_workload::{generate, presets};
 
 const SCALES: [f64; 3] = [0.01, 0.025, 0.05];
@@ -58,7 +58,8 @@ fn main() {
         })
         .collect();
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Scaling cells", &report));
+    emit_parallel_summary("Scaling cells", &report);
+    dump_obs(&report);
 
     for (i, (scale, data, stable, _)) in setups.iter().enumerate() {
         let off3 = &report.cells[4 * i].result;
@@ -89,12 +90,13 @@ fn main() {
             overall,
             best,
         );
-        eprintln!(
-            "    [scale {scale}: stable COLT {} OFFLINE {}; shifting COLT {} OFFLINE {}]",
-            fmt_ms(colt3.total_millis()),
-            fmt_ms(off3.total_millis()),
-            fmt_ms(colt4.total_millis()),
-            fmt_ms(off4.total_millis()),
+        colt_obs::progress(
+            colt_obs::Event::new("scale_point")
+                .field("scale", *scale)
+                .field("stable_colt", fmt_ms(colt3.total_millis()))
+                .field("stable_offline", fmt_ms(off3.total_millis()))
+                .field("shifting_colt", fmt_ms(colt4.total_millis()))
+                .field("shifting_offline", fmt_ms(off4.total_millis())),
         );
     }
     println!();

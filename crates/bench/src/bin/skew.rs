@@ -7,11 +7,11 @@
 //! the right path *per constant*, and COLT's measured gains stay
 //! calibrated — the tuner still converges to the off-line optimum.
 
-use colt_bench::{fmt_ms, seed, threads};
+use colt_bench::{dump_obs, fmt_ms, seed, threads};
 use colt_catalog::{ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableSchema};
 use colt_core::ColtConfig;
 use colt_engine::{Executor, IndexSetView, Optimizer, Query, SelPred};
-use colt_harness::{render_parallel_summary, run_cells, Cell, Policy};
+use colt_harness::{emit_parallel_summary, run_cells, Cell, Policy};
 use colt_storage::{row_from, Prng, Value, ValueType};
 use colt_workload::gen::ColumnGen;
 
@@ -74,7 +74,8 @@ fn main() {
         ),
     ];
     let report = run_cells(&cells, threads());
-    eprintln!("{}", render_parallel_summary("Skew cells", &report));
+    emit_parallel_summary("Skew cells", &report);
+    dump_obs(&report);
     let offline = report.get("OFFLINE").expect("offline cell");
     let colt = report.get("COLT").expect("colt cell");
     println!();

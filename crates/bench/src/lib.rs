@@ -36,20 +36,52 @@ pub fn threads() -> usize {
     colt_harness::default_threads()
 }
 
-/// Generate the experiment data set, logging shape and timing.
+/// Generate the experiment data set, reporting shape and timing through
+/// the event sink (stderr only; silent under `COLT_OBS=off`).
 pub fn build_data() -> TpchData {
     let scale = scale();
     let seed = seed();
     let t0 = std::time::Instant::now();
     let data = generate(scale, seed);
-    eprintln!(
-        "[setup] generated TPC-H x4 at scale {scale} (seed {seed}): {} tables, {} tuples, {} attributes in {:.1?}",
-        data.db.table_count(),
-        data.db.total_tuples(),
-        data.db.indexable_attributes(),
-        t0.elapsed()
+    colt_obs::progress(
+        colt_obs::Event::new("setup")
+            .field("scale", scale)
+            .field("seed", seed)
+            .field("tables", data.db.table_count())
+            .field("tuples", data.db.total_tuples())
+            .field("attributes", data.db.indexable_attributes())
+            .field("wall_ms", t0.elapsed().as_secs_f64() * 1e3),
     );
     data
+}
+
+/// When `COLT_OBS_PATH` is set, dump a parallel batch's merged metrics
+/// next to it: `<path>.jsonl` (the structured event stream, one JSON
+/// object per line) and `<path>.prom` (the Prometheus-style text dump).
+/// Does nothing otherwise. Dump destinations and contents never touch
+/// stdout.
+pub fn dump_obs(report: &colt_harness::ParallelReport) {
+    let Ok(path) = std::env::var("COLT_OBS_PATH") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let snap = report.obs();
+    let jsonl = format!("{path}.jsonl");
+    let prom = format!("{path}.prom");
+    if let Err(e) = std::fs::write(&jsonl, snap.events_jsonl()) {
+        eprintln!("[obs] failed to write {jsonl}: {e}");
+        return;
+    }
+    if let Err(e) = std::fs::write(&prom, snap.prometheus()) {
+        eprintln!("[obs] failed to write {prom}: {e}");
+        return;
+    }
+    colt_obs::progress(
+        colt_obs::Event::new("obs_dump")
+            .field("events", snap.events.len())
+            .field("jsonl", jsonl)
+            .field("prom", prom),
+    );
 }
 
 /// Format a simulated-ms quantity compactly.

@@ -1,0 +1,105 @@
+//! Black-box observability checks against the real `fig3` binary:
+//!
+//! * stdout is byte-identical between `COLT_OBS=off` and
+//!   `COLT_OBS=full` — observability never perturbs experiment
+//!   artifacts;
+//! * with `COLT_OBS_PATH` set, the `.jsonl` dump parses line by line
+//!   with the in-repo strict JSON parser and the `.prom` dump carries
+//!   `colt_`-prefixed metrics in Prometheus text exposition format.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Tiny scale so the two spawned runs stay in CI-friendly territory.
+const SCALE: &str = "0.004";
+
+fn run_fig3(obs_level: &str, obs_path: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig3"));
+    cmd.env("COLT_SCALE", SCALE)
+        .env("COLT_SEED", "42")
+        .env("COLT_THREADS", "2")
+        .env("COLT_OBS", obs_level)
+        .env_remove("COLT_OBS_PATH");
+    if let Some(p) = obs_path {
+        cmd.env("COLT_OBS_PATH", p);
+    }
+    let out = cmd.output().expect("spawn fig3");
+    assert!(
+        out.status.success(),
+        "fig3 (COLT_OBS={obs_level}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("colt-obs-test-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn fig3_stdout_is_byte_identical_across_obs_levels() {
+    let base = temp_base("levels");
+    let base_str = base.to_str().expect("utf-8 temp path");
+
+    let off = run_fig3("off", None);
+    let full = run_fig3("full", Some(base_str));
+
+    assert!(!off.stdout.is_empty(), "fig3 must print its report to stdout");
+    assert_eq!(
+        off.stdout, full.stdout,
+        "COLT_OBS must not change a single stdout byte"
+    );
+    // Off truly is silent; full is not.
+    assert!(off.stderr.is_empty(), "COLT_OBS=off must keep stderr empty");
+    assert!(!full.stderr.is_empty(), "COLT_OBS=full must emit JSONL to stderr");
+
+    // The dumps written by the full run are valid.
+    let jsonl_path = format!("{base_str}.jsonl");
+    let prom_path = format!("{base_str}.prom");
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("fig3 must write the .jsonl dump");
+    let prom = std::fs::read_to_string(&prom_path).expect("fig3 must write the .prom dump");
+    let _ = std::fs::remove_file(&jsonl_path);
+    let _ = std::fs::remove_file(&prom_path);
+
+    let mut events = 0usize;
+    for (i, line) in jsonl.lines().enumerate() {
+        let v = colt_core::json::parse(line)
+            .unwrap_or_else(|e| panic!(".jsonl line {}: {e}: {line}", i + 1));
+        assert!(
+            v.get("event").and_then(colt_core::json::Json::as_str).is_some(),
+            ".jsonl line {} lacks an event kind",
+            i + 1
+        );
+        events += 1;
+    }
+    assert!(events > 0, "the merged event stream must not be empty");
+
+    assert!(prom.lines().any(|l| l.starts_with("# TYPE colt_")), "missing TYPE headers");
+    let metrics = prom.lines().filter(|l| l.starts_with("colt_")).count();
+    assert!(metrics > 0, "no colt_ metric samples in the Prometheus dump");
+    // The spans instrumented across the stack surface in the dump.
+    for needle in ["colt_engine_execute", "colt_tuner_epoch", "colt_harness_queries"] {
+        assert!(prom.contains(needle), "Prometheus dump lacks {needle}:\n{prom}");
+    }
+}
+
+#[test]
+fn obs_check_validates_a_real_dump() {
+    let base = temp_base("check");
+    let base_str = base.to_str().expect("utf-8 temp path");
+    run_fig3("summary", Some(base_str));
+    let jsonl_path = format!("{base_str}.jsonl");
+    let prom_path = format!("{base_str}.prom");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_check"))
+        .args([&jsonl_path, &prom_path])
+        .output()
+        .expect("spawn obs_check");
+    let _ = std::fs::remove_file(&jsonl_path);
+    let _ = std::fs::remove_file(&prom_path);
+    assert!(
+        out.status.success(),
+        "obs_check rejected a dump fig3 just wrote: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -31,6 +31,7 @@ pub mod gain;
 pub mod hotset;
 pub mod json;
 pub mod knapsack;
+pub mod obs_export;
 pub mod organizer;
 pub mod profiler;
 pub mod prng;
@@ -42,6 +43,7 @@ pub use cluster::{ClusterId, ClusterKey, ClusterSet, SelBucket};
 pub use composite_ext::{CompositeStep, CompositeTuner};
 pub use config::{ColtConfig, ColtConfigBuilder, ConfigError};
 pub use gain::{GainStats, IndexClusterStats};
+pub use obs_export::{event_json, snapshot_json};
 pub use organizer::{ReorgDecision, SelfOrganizer};
 pub use profiler::{GainMode, ProfileOutcome, Profiler};
 pub use scheduler::{AppliedChanges, MaterializationStrategy, Scheduler};

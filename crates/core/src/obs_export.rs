@@ -1,0 +1,132 @@
+//! Bridging `colt_obs` snapshots into the repo's [`Json`] writer.
+//!
+//! `colt-obs` sits below every other crate and cannot depend on the
+//! JSON module; this adapter lives in `colt-core` instead, so harness
+//! and bench code can embed metrics snapshots in EXPERIMENTS.md-style
+//! artifacts and CI can round-trip the event sink's output through the
+//! same strict parser that validates run summaries.
+
+use crate::json::Json;
+use colt_obs::{Event, FieldValue, Histogram, Snapshot};
+
+/// An event as a JSON value: `{"event": kind, ...fields}` — the same
+/// shape [`Event::jsonl`] prints, built structurally.
+pub fn event_json(event: &Event) -> Json {
+    let mut pairs: Vec<(String, Json)> =
+        vec![("event".to_string(), Json::Str(event.kind.to_string()))];
+    for (k, v) in &event.fields {
+        let j = match v {
+            FieldValue::U64(n) => Json::UInt(*n),
+            FieldValue::I64(n) => Json::Int(*n),
+            FieldValue::F64(f) if f.is_finite() => Json::Float(*f),
+            FieldValue::F64(_) => Json::Null,
+            FieldValue::Str(s) => Json::Str(s.clone()),
+            FieldValue::Bool(b) => Json::Bool(*b),
+        };
+        pairs.push((k.to_string(), j));
+    }
+    Json::Obj(pairs)
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    let cumulative = h.cumulative();
+    let buckets: Vec<Json> = cumulative
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let le = match h.bounds().get(i) {
+                Some(b) => Json::Float(*b),
+                None => Json::Str("+Inf".to_string()),
+            };
+            Json::obj(vec![("le", le), ("count", Json::UInt(c))])
+        })
+        .collect();
+    Json::obj(vec![
+        ("buckets", Json::Arr(buckets)),
+        ("sum", Json::Float(h.sum())),
+        ("count", Json::UInt(h.count())),
+    ])
+}
+
+/// A full metrics snapshot as one JSON object: counters, gauges,
+/// histograms, span timings, and the retained event stream.
+pub fn snapshot_json(snap: &Snapshot) -> Json {
+    let counters =
+        Json::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect());
+    let gauges = Json::Obj(snap.gauges.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect());
+    let hists =
+        Json::Obj(snap.hists.iter().map(|(k, h)| (k.clone(), histogram_json(h))).collect());
+    let spans = Json::Obj(
+        snap.spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::UInt(s.count)),
+                        ("wall_ms", Json::Float(s.wall_ms())),
+                        ("sim_ms", Json::Float(s.sim_ms)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let events = Json::Arr(snap.events.iter().map(event_json).collect());
+    Json::obj(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", hists),
+        ("spans", spans),
+        ("events", events),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colt_obs::{Level, Recorder};
+
+    #[test]
+    fn snapshot_round_trips_through_parser() {
+        let mut r = Recorder::new(Level::Full);
+        r.add_counter("storage.btree.lookups", 41);
+        r.set_gauge("threads", 2.0);
+        r.observe("h", 12.0);
+        r.record_span("engine.execute", 3_000_000);
+        r.record_span_sim("engine.execute", 7.5);
+        r.record_event(Event::new("epoch").field("epoch", 0u64).field("ratio", 1.5));
+        let snap = r.into_snapshot();
+        let text = snapshot_json(&snap).pretty();
+        let back = crate::json::parse(&text).expect("snapshot JSON must parse");
+        assert_eq!(
+            back.get("counters").and_then(|c| c.get("storage.btree.lookups")).and_then(Json::as_u64),
+            Some(41)
+        );
+        let span = back.get("spans").and_then(|s| s.get("engine.execute")).unwrap();
+        assert_eq!(span.get("count").and_then(Json::as_u64), Some(1));
+        let ev = back.get("events").and_then(|e| e.idx(0)).unwrap();
+        assert_eq!(ev.get("event").and_then(Json::as_str), Some("epoch"));
+    }
+
+    #[test]
+    fn event_json_matches_jsonl_bytes() {
+        // The structural and textual renderings must agree, because CI
+        // parses the textual sink with the strict parser.
+        let e = Event::new("cell_finish")
+            .field("cell", 3u64)
+            .field("label", "COLT")
+            .field("wall_ms", 12.5)
+            .field("ok", true)
+            .field("delta", -1i64);
+        let parsed = crate::json::parse(&e.jsonl()).expect("jsonl must parse");
+        assert_eq!(parsed, event_json(&e));
+    }
+
+    #[test]
+    fn whole_float_fields_survive_the_round_trip() {
+        let e = Event::new("t").field("ms", 5.0);
+        let parsed = crate::json::parse(&e.jsonl()).unwrap();
+        assert_eq!(parsed.get("ms"), Some(&Json::Float(5.0)));
+        assert_eq!(parsed, event_json(&e));
+    }
+}

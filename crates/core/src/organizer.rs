@@ -179,6 +179,7 @@ impl SelfOrganizer {
         profiler: &Profiler,
         hot: &BTreeSet<ColRef>,
     ) -> ReorgDecision {
+        let _span = colt_obs::span("organizer.reorganize");
         self.record_epoch(profiler, config, hot);
 
         let online: BTreeSet<ColRef> = config.online_columns().collect();
@@ -194,7 +195,10 @@ impl SelfOrganizer {
             })
             .collect();
         // Free solution: the unconstrained knapsack optimum.
-        let free_chosen = knapsack::solve(&items, self.budget_pages);
+        let free_chosen = {
+            let _s = colt_obs::span("organizer.knapsack");
+            knapsack::solve(&items, self.budget_pages)
+        };
         let free_value = knapsack::total_value(&items, &free_chosen);
 
         // Keep solution: incumbents with positive net benefit stay (the
@@ -214,7 +218,10 @@ impl SelfOrganizer {
                 }
             })
             .collect();
-        let additions = knapsack::solve(&addition_items, spare);
+        let additions = {
+            let _s = colt_obs::span("organizer.knapsack");
+            knapsack::solve(&addition_items, spare)
+        };
         let keep_value = kept.iter().map(|&i| items[i].value).sum::<f64>()
             + knapsack::total_value(&addition_items, &additions);
 
@@ -248,6 +255,7 @@ impl SelfOrganizer {
         let new_hot: BTreeSet<ColRef> = select_hot(&benefits, self.max_hot).into_iter().collect();
 
         // --- Re-budgeting: best-case knapsack. ---
+        let _rebudget = colt_obs::span("organizer.rebudget");
         let opt_items: Vec<Item> = pool
             .iter()
             .map(|&col| Item {
@@ -255,7 +263,10 @@ impl SelfOrganizer {
                 value: self.net_benefit_of(db, config, profiler, col, !online.contains(&col)),
             })
             .collect();
-        let opt_chosen = knapsack::solve(&opt_items, self.budget_pages);
+        let opt_chosen = {
+            let _s = colt_obs::span("organizer.knapsack");
+            knapsack::solve(&opt_items, self.budget_pages)
+        };
         let mut net_benefit_m_prime = knapsack::total_value(&opt_items, &opt_chosen);
         // Fresh hot indices (selected just now, never profiled) also
         // belong to the best-case scenario of the *next* epoch.

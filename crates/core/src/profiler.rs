@@ -116,7 +116,11 @@ impl Profiler {
         plan: &Plan,
         hot: &BTreeSet<ColRef>,
     ) -> ProfileOutcome {
-        let cluster = self.clusters.assign(db, query);
+        let _span = colt_obs::span("profiler.profile");
+        let cluster = {
+            let _s = colt_obs::span("profiler.cluster");
+            self.clusters.assign(db, query)
+        };
         let restricted = query.candidate_columns();
         let used = plan.used_indices();
 
@@ -160,6 +164,7 @@ impl Profiler {
         // Call the what-if optimizer and fold the measured gains into
         // the per-(index, cluster) statistics.
         if !probation.is_empty() {
+            let _s = colt_obs::span("profiler.whatif");
             let gains = eqo.what_if_optimize(query, &probation, config);
             for g in &gains {
                 let version = config.version_excluding(g.col);
@@ -174,6 +179,7 @@ impl Profiler {
 
         // Level 1: update the crude BenefitC estimate of every candidate
         // column the query restricts.
+        let _crude = colt_obs::span("profiler.crude");
         for &col in &restricted {
             self.candidates.touch(col);
             let u = self.usage_indicator(col, config, hot, &used, &probation);

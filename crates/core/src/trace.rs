@@ -81,6 +81,52 @@ impl Trace {
         )])
         .pretty()
     }
+
+    /// Fold a run's span timings into the per-epoch records: each epoch's
+    /// JSON gains an `"overhead_wall_ms"` field (the run's total
+    /// tuner-side wall time — profiling plus epoch closing — amortized
+    /// evenly over the epochs; spans are run-scoped, not epoch-tagged),
+    /// and the summary carries the raw per-span totals alongside.
+    pub fn overhead_summary(&self, obs: &colt_obs::Snapshot) -> Json {
+        // Top-level tuner spans only: `profiler.profile` covers the
+        // per-query work (clustering, crude and what-if profiling are
+        // nested inside it) and `tuner.epoch` covers boundary work
+        // (reorganization, knapsack, re-budgeting). Summing nested spans
+        // too would double-count.
+        let tuner_wall_ms = obs.span_wall_ms("profiler.profile") + obs.span_wall_ms("tuner.epoch");
+        let per_epoch = tuner_wall_ms / self.epochs.len().max(1) as f64;
+        let epochs: Vec<Json> = self
+            .epochs
+            .iter()
+            .map(|e| {
+                let mut v = e.to_json_value();
+                if let Json::Obj(pairs) = &mut v {
+                    pairs.push(("overhead_wall_ms".to_string(), Json::Float(per_epoch)));
+                }
+                v
+            })
+            .collect();
+        let spans = Json::Obj(
+            obs.spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("count", Json::UInt(s.count)),
+                            ("wall_ms", Json::Float(s.wall_ms())),
+                            ("sim_ms", Json::Float(s.sim_ms)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("tuner_wall_ms", Json::Float(tuner_wall_ms)),
+            ("epochs", Json::Arr(epochs)),
+            ("spans", spans),
+        ])
+    }
 }
 
 /// Render a column reference as `{"table": t, "column": c}`.

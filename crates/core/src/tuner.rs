@@ -145,6 +145,14 @@ impl ColtTuner {
             self.close_epoch(db, physical)
         };
         if !piggy.built.is_empty() {
+            for (col, _) in &piggy.built {
+                colt_obs::emit(
+                    colt_obs::Event::new("index_create")
+                        .field("epoch", self.epoch)
+                        .field("index", col.to_string())
+                        .field("via", "piggyback"),
+                );
+            }
             step.build_io.accumulate(&piggy.total_build_io());
             step.created.extend(piggy.built.iter().map(|(c, _)| *c));
         }
@@ -159,6 +167,7 @@ impl ColtTuner {
     }
 
     fn close_epoch(&mut self, db: &Database, physical: &mut PhysicalConfig) -> TunerStep {
+        let _span = colt_obs::span("tuner.epoch");
         let whatif_used = self.profiler.whatif_used();
         let whatif_limit = self.profiler.whatif_limit();
 
@@ -174,6 +183,40 @@ impl ColtTuner {
             build_io.accumulate(io);
         }
 
+        let build_millis = db.cost.millis_of(&build_io);
+        for (col, _) in &changes.built {
+            colt_obs::emit(
+                colt_obs::Event::new("index_create")
+                    .field("epoch", self.epoch)
+                    .field("index", col.to_string()),
+            );
+        }
+        for col in &changes.dropped {
+            colt_obs::emit(
+                colt_obs::Event::new("index_drop")
+                    .field("epoch", self.epoch)
+                    .field("index", col.to_string()),
+            );
+        }
+        colt_obs::emit(
+            colt_obs::Event::new("budget")
+                .field("epoch", self.epoch)
+                .field("next_budget", decision.next_budget)
+                .field("ratio", decision.ratio),
+        );
+        colt_obs::emit(
+            colt_obs::Event::new("epoch")
+                .field("epoch", self.epoch)
+                .field("whatif_used", whatif_used)
+                .field("whatif_limit", whatif_limit)
+                .field("next_budget", decision.next_budget)
+                .field("ratio", decision.ratio)
+                .field("created", changes.built.len())
+                .field("dropped", changes.dropped.len())
+                .field("materialized", physical.online_columns().count())
+                .field("build_millis", build_millis),
+        );
+
         self.trace.push(EpochRecord {
             epoch: self.epoch,
             whatif_used,
@@ -186,7 +229,7 @@ impl ColtTuner {
             created: changes.built.iter().map(|(c, _)| *c).collect(),
             dropped: changes.dropped.clone(),
             hot: decision.new_hot.iter().copied().collect(),
-            build_millis: db.cost.millis_of(&build_io),
+            build_millis,
             candidate_count: self.profiler.candidates().len(),
             cluster_count: self.profiler.clusters().len(),
         });

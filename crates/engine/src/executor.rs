@@ -51,13 +51,12 @@ impl<'a> Executor<'a> {
 
     /// Execute a plan, returning counts and charges only.
     pub fn execute(&self, query: &Query, plan: &Plan) -> QueryResult {
+        let span = colt_obs::span("engine.execute");
         let mut io = IoStats::new();
         let batch = self.run(query, &plan.root, &mut io);
-        QueryResult {
-            row_count: batch.rows.len() as u64,
-            millis: self.db.cost.millis_of(&io),
-            io,
-        }
+        let millis = self.db.cost.millis_of(&io);
+        span.sim_ms(millis);
+        QueryResult { row_count: batch.rows.len() as u64, millis, io }
     }
 
     /// Execute a plan and also return the result rows (column-concatenated
@@ -183,11 +182,13 @@ impl<'a> Executor<'a> {
         match node {
             PlanNode::Scan { table, path, .. } => self.run_scan(query, *table, path, io),
             PlanNode::HashJoin { build, probe, on, .. } => {
+                colt_obs::counter("engine.op.hash_join", 1);
                 let b = self.run(query, build, io);
                 let p = self.run(query, probe, io);
                 self.hash_join(b, p, on, io)
             }
             PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
+                colt_obs::counter("engine.op.index_nl_join", 1);
                 let o = self.run(query, outer, io);
                 self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io)
             }
@@ -266,6 +267,14 @@ impl<'a> Executor<'a> {
     }
 
     fn run_scan(&self, query: &Query, table: TableId, path: &AccessPath, io: &mut IoStats) -> Batch {
+        colt_obs::counter(
+            match path {
+                AccessPath::SeqScan => "engine.op.seq_scan",
+                AccessPath::IndexScan { .. } => "engine.op.index_scan",
+                AccessPath::CompositeScan { .. } => "engine.op.composite_scan",
+            },
+            1,
+        );
         let t = self.db.table(table);
         let preds: Vec<&SelPred> = query.selections_on(table).collect();
         let rows: Vec<Vec<Value>> = match path {

@@ -92,6 +92,7 @@ impl<'a> Eqo<'a> {
 
     /// Normal query optimization under the real configuration.
     pub fn optimize(&mut self, query: &Query, config: &PhysicalConfig) -> Plan {
+        let _span = colt_obs::span("engine.optimize");
         self.counters.optimizations += 1;
         self.opt.optimize(query, IndexSetView::real(config))
     }
@@ -107,6 +108,8 @@ impl<'a> Eqo<'a> {
         if probes.is_empty() {
             return Vec::new();
         }
+        let _span = colt_obs::span("engine.whatif");
+        colt_obs::counter("engine.whatif_calls", probes.len() as u64);
         self.counters.whatif_calls += probes.len() as u64;
 
         // Memoized per-table access paths under the unmodified view.

@@ -110,6 +110,7 @@ mod tests {
             final_indices: Vec::new(),
             offline: None,
             profiled_indices: 0,
+            obs: colt_obs::Snapshot::default(),
         }
     }
 
@@ -151,6 +152,45 @@ mod tests {
         // when the region never reaches steady state... but a region
         // ending inside the spike still reports the spike's own level.
         assert!(adaptation_latency(&run, 290, 295, 10, 0.1).is_none());
+    }
+
+    #[test]
+    fn empty_runs_never_converge() {
+        let empty = fake(vec![]);
+        let base = fake(vec![10.0; 50]);
+        assert_eq!(convergence_point(&empty, &base, 10, 0.05), None);
+        assert_eq!(convergence_point(&base, &empty, 10, 0.05), None);
+        assert_eq!(convergence_point(&empty, &empty, 10, 0.05), None);
+    }
+
+    #[test]
+    fn window_larger_than_sample_count_clamps() {
+        // moving_avg clamps the window to the run length, so a giant
+        // window degenerates to one whole-run average per side.
+        let colt = fake(vec![10.0; 5]);
+        let base = fake(vec![10.0; 5]);
+        assert_eq!(convergence_point(&colt, &base, 1_000, 0.05), Some(0));
+        let slow = fake(vec![20.0; 5]);
+        assert_eq!(convergence_point(&slow, &base, 1_000, 0.05), None);
+    }
+
+    #[test]
+    fn zero_window_never_converges() {
+        let colt = fake(vec![10.0; 20]);
+        let base = fake(vec![10.0; 20]);
+        assert_eq!(convergence_point(&colt, &base, 0, 0.05), None);
+    }
+
+    #[test]
+    fn violation_in_final_window_means_no_convergence() {
+        // The run is at parity except for the very last window — there
+        // is no later window to converge in, so the answer must be None,
+        // not an out-of-range index.
+        let mut t = vec![10.0; 99];
+        t.push(1_000.0);
+        let colt = fake(t);
+        let base = fake(vec![10.0; 100]);
+        assert_eq!(convergence_point(&colt, &base, 1, 0.05), None);
     }
 
     #[test]

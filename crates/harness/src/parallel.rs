@@ -118,6 +118,19 @@ impl ParallelReport {
     pub fn get(&self, label: &str) -> Option<&RunResult> {
         self.cells.iter().find(|c| c.label == label).map(|c| &c.result)
     }
+
+    /// The batch's merged metrics: every cell's [`RunResult::obs`]
+    /// snapshot folded together in submission order. Each cell recorded
+    /// into its own thread-local recorder during the run, so this
+    /// aggregation is lock-free — it happens strictly after the worker
+    /// threads have joined.
+    pub fn obs(&self) -> colt_obs::Snapshot {
+        let mut merged = colt_obs::Snapshot::default();
+        for cell in &self.cells {
+            merged.merge(&cell.result.obs);
+        }
+        merged
+    }
 }
 
 /// Worker-thread count: `COLT_THREADS` if set and positive, else the
@@ -182,18 +195,25 @@ pub fn run_cells_default(cells: &[Cell<'_>]) -> ParallelReport {
 }
 
 fn time_cell(cell: &Cell<'_>, index: usize, total: usize) -> CellResult {
+    // Progress goes through the event sink (stderr only), so stdout
+    // stays byte-identical across thread counts and COLT_OBS levels.
+    colt_obs::progress(
+        colt_obs::Event::new("cell_start")
+            .field("cell", index + 1)
+            .field("total", total)
+            .field("label", cell.label.as_str())
+            .field("policy", cell.policy.label()),
+    );
     let t0 = Instant::now();
     let result = cell.run();
     let cell_millis = t0.elapsed().as_secs_f64() * 1e3;
-    // Progress goes to stderr so stdout stays byte-identical across
-    // thread counts.
-    eprintln!(
-        "[harness] cell {}/{} `{}` ({}) finished in {:.0} ms",
-        index + 1,
-        total,
-        cell.label,
-        cell.policy.label(),
-        cell_millis
+    colt_obs::progress(
+        colt_obs::Event::new("cell_finish")
+            .field("cell", index + 1)
+            .field("total", total)
+            .field("label", cell.label.as_str())
+            .field("policy", cell.policy.label())
+            .field("wall_ms", cell_millis),
     );
     CellResult { label: cell.label.clone(), result, cell_millis }
 }

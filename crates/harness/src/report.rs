@@ -125,6 +125,91 @@ pub fn render_parallel_summary(title: &str, report: &ParallelReport) -> String {
     out
 }
 
+/// Per-component wall-clock breakdown of one run, from its metrics
+/// snapshot's top-level `harness.*` spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Optimizer (plan search) wall ms.
+    pub optimize_ms: f64,
+    /// Executor wall ms.
+    pub execute_ms: f64,
+    /// Tuner wall ms (profiling + epoch closing + builds).
+    pub tune_ms: f64,
+    /// Unattributed remainder of the run (loop overhead, setup), ≥ 0.
+    pub other_ms: f64,
+    /// Total measured run wall ms (the `harness.run` span).
+    pub total_ms: f64,
+}
+
+impl Breakdown {
+    /// Sum of the attributed components plus the remainder. Equals
+    /// `total_ms` by construction unless clock skew made the component
+    /// spans overshoot the enclosing run span.
+    pub fn sum_ms(&self) -> f64 {
+        self.optimize_ms + self.execute_ms + self.tune_ms + self.other_ms
+    }
+}
+
+/// Fold a run's span timings into a per-component breakdown. Empty
+/// snapshots (runs under `COLT_OBS=off`) yield an all-zero breakdown.
+pub fn component_breakdown(run: &RunResult) -> Breakdown {
+    let optimize_ms = run.obs.span_wall_ms("harness.optimize");
+    let execute_ms = run.obs.span_wall_ms("harness.execute");
+    let tune_ms = run.obs.span_wall_ms("harness.tune");
+    let total_ms = run.obs.span_wall_ms("harness.run");
+    let other_ms = (total_ms - optimize_ms - execute_ms - tune_ms).max(0.0);
+    Breakdown { optimize_ms, execute_ms, tune_ms, other_ms, total_ms }
+}
+
+/// Render per-component time breakdowns for a batch of labelled runs as
+/// an aligned table. Wall-clock numbers — stderr only, like
+/// [`render_parallel_summary`].
+pub fn render_breakdown(title: &str, runs: &[(&str, &RunResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(
+        "  cell                          optimize     execute        tune       other       total\n",
+    );
+    for (label, run) in runs {
+        let b = component_breakdown(run);
+        out.push_str(&format!(
+            "  {:<28} {:>8.1} ms {:>8.1} ms {:>8.1} ms {:>8.1} ms {:>8.1} ms\n",
+            label, b.optimize_ms, b.execute_ms, b.tune_ms, b.other_ms, b.total_ms,
+        ));
+    }
+    out
+}
+
+/// Emit a parallel batch's progress through the event sink: one
+/// `parallel_batch` event with the wall-clock/speedup numbers that
+/// [`render_parallel_summary`] renders. All bench binaries report batch
+/// completion through this one path, so the stderr format is uniform.
+pub fn emit_parallel_summary(title: &str, report: &ParallelReport) {
+    colt_obs::progress(
+        colt_obs::Event::new("parallel_batch")
+            .field("title", title)
+            .field("threads", report.threads)
+            .field("cells", report.cells.len())
+            .field("wall_ms", report.wall_millis)
+            .field("serial_ms", report.serial_millis())
+            .field("speedup", report.speedup()),
+    );
+}
+
+/// Emit one run's per-component breakdown through the event sink.
+pub fn emit_breakdown(label: &str, run: &RunResult) {
+    let b = component_breakdown(run);
+    colt_obs::progress(
+        colt_obs::Event::new("breakdown")
+            .field("label", label)
+            .field("optimize_ms", b.optimize_ms)
+            .field("execute_ms", b.execute_ms)
+            .field("tune_ms", b.tune_ms)
+            .field("other_ms", b.other_ms)
+            .field("total_ms", b.total_ms),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +228,7 @@ mod tests {
             final_indices: Vec::new(),
             offline: None,
             profiled_indices: 0,
+            obs: colt_obs::Snapshot::default(),
         }
     }
 
@@ -199,5 +285,46 @@ mod tests {
         let s = render_whatif_series("Fig5", &[20, 3, 0], 20);
         assert!(s.contains("epoch"));
         assert!(s.contains("********************"));
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let mut run = fake_run(&[1.0]);
+        let mut r = colt_obs::Recorder::new(colt_obs::Level::Summary);
+        r.record_span("harness.optimize", 2_000_000);
+        r.record_span("harness.execute", 5_000_000);
+        r.record_span("harness.tune", 1_000_000);
+        r.record_span("harness.run", 10_000_000);
+        run.obs = r.into_snapshot();
+        let b = component_breakdown(&run);
+        assert!((b.optimize_ms - 2.0).abs() < 1e-9);
+        assert!((b.execute_ms - 5.0).abs() < 1e-9);
+        assert!((b.tune_ms - 1.0).abs() < 1e-9);
+        assert!((b.other_ms - 2.0).abs() < 1e-9);
+        assert!((b.sum_ms() - b.total_ms).abs() < 1e-9);
+        let table = render_breakdown("Breakdown", &[("COLT", &run)]);
+        assert!(table.contains("COLT"));
+        assert!(table.contains("10.0 ms"));
+    }
+
+    #[test]
+    fn breakdown_of_empty_snapshot_is_zero() {
+        let run = fake_run(&[1.0]);
+        let b = component_breakdown(&run);
+        assert_eq!(b.sum_ms(), 0.0);
+        assert_eq!(b.total_ms, 0.0);
+    }
+
+    #[test]
+    fn breakdown_clamps_overshoot() {
+        // Component spans can overshoot the enclosing run span by a few
+        // clock ticks; `other` must clamp at zero rather than go
+        // negative.
+        let mut run = fake_run(&[1.0]);
+        let mut r = colt_obs::Recorder::new(colt_obs::Level::Summary);
+        r.record_span("harness.execute", 11_000_000);
+        r.record_span("harness.run", 10_000_000);
+        run.obs = r.into_snapshot();
+        assert_eq!(component_breakdown(&run).other_ms, 0.0);
     }
 }

@@ -94,6 +94,11 @@ pub struct RunResult {
     /// Number of relevant (restricted) columns that received accurate
     /// (what-if) profiling — COLT only.
     pub profiled_indices: usize,
+    /// Metrics recorded during the run (empty under `COLT_OBS=off`).
+    /// Deliberately *not* part of [`RunResult::summary_json`]: the
+    /// summary is a deterministic artifact, while the snapshot carries
+    /// wall-clock timings that vary run to run.
+    pub obs: colt_obs::Snapshot,
 }
 
 impl RunResult {
@@ -192,17 +197,34 @@ impl<'a> Experiment<'a> {
     }
 
     /// Execute the run and collect per-query samples.
+    ///
+    /// A fresh [`colt_obs::Recorder`] is installed on this thread for
+    /// the duration of the run and its snapshot lands in
+    /// [`RunResult::obs`]. The recorder's level is inherited from the
+    /// recorder already installed on the thread when there is one
+    /// (callers — and tests — can thereby force a level), else taken
+    /// from `COLT_OBS`; the previous recorder is restored afterwards.
     pub fn run(&self) -> RunResult {
-        match &self.policy {
-            Policy::None => self.run_untuned(PhysicalConfig::new(), Policy::None, None),
-            Policy::Offline { budget_pages } => {
-                let analyzed = self.analyzed.unwrap_or(self.workload);
-                let selection = colt_offline::select(self.db, analyzed, *budget_pages);
-                let config = colt_offline::materialize(self.db, &selection);
-                self.run_untuned(config, self.policy.clone(), Some(selection))
+        let prev = colt_obs::install(colt_obs::Recorder::new(colt_obs::sink_level()));
+        let mut result = {
+            let _span = colt_obs::span("harness.run");
+            match &self.policy {
+                Policy::None => self.run_untuned(PhysicalConfig::new(), Policy::None, None),
+                Policy::Offline { budget_pages } => {
+                    let analyzed = self.analyzed.unwrap_or(self.workload);
+                    let selection = colt_offline::select(self.db, analyzed, *budget_pages);
+                    let config = colt_offline::materialize(self.db, &selection);
+                    self.run_untuned(config, self.policy.clone(), Some(selection))
+                }
+                Policy::Colt(config, strategy) => self.run_colt(config.clone(), *strategy),
             }
-            Policy::Colt(config, strategy) => self.run_colt(config.clone(), *strategy),
+        };
+        result.obs =
+            colt_obs::take().map(colt_obs::Recorder::into_snapshot).unwrap_or_default();
+        if let Some(p) = prev {
+            colt_obs::install(p);
         }
+        result
     }
 
     /// Shared path for the two untuned policies: run the stream under a
@@ -218,8 +240,17 @@ impl<'a> Experiment<'a> {
             .workload
             .iter()
             .map(|q| {
-                let plan = eqo.optimize(q, &config);
-                let res = Executor::new(self.db, &config).execute(q, &plan);
+                colt_obs::counter("harness.queries", 1);
+                let plan = {
+                    let _s = colt_obs::span("harness.optimize");
+                    eqo.optimize(q, &config)
+                };
+                let res = {
+                    let s = colt_obs::span("harness.execute");
+                    let r = Executor::new(self.db, &config).execute(q, &plan);
+                    s.sim_ms(r.millis);
+                    r
+                };
                 QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count }
             })
             .collect();
@@ -230,6 +261,7 @@ impl<'a> Experiment<'a> {
             final_indices: config.columns().collect(),
             offline,
             profiled_indices: 0,
+            obs: colt_obs::Snapshot::default(),
         }
     }
 
@@ -251,9 +283,19 @@ impl<'a> Experiment<'a> {
         let mut whatif_before = 0u64;
 
         for q in self.workload {
-            let plan = eqo.optimize(q, &physical);
-            let res = Executor::new(db, &physical).execute(q, &plan);
+            colt_obs::counter("harness.queries", 1);
+            let plan = {
+                let _s = colt_obs::span("harness.optimize");
+                eqo.optimize(q, &physical)
+            };
+            let res = {
+                let s = colt_obs::span("harness.execute");
+                let r = Executor::new(db, &physical).execute(q, &plan);
+                s.sim_ms(r.millis);
+                r
+            };
 
+            let tune = colt_obs::span("harness.tune");
             let step = tuner.on_query(db, &mut physical, &mut eqo, q, &plan);
             if strategy == MaterializationStrategy::IdleTime && step.epoch_closed {
                 // Epoch boundary = assumed idle window; deferred builds
@@ -266,6 +308,8 @@ impl<'a> Experiment<'a> {
                 (whatif_now - whatif_before) as f64 * WHATIF_COST_UNITS * db.cost.ms_per_cost_unit;
             whatif_before = whatif_now;
             let build_cost = db.cost.millis_of(&step.build_io);
+            tune.sim_ms(whatif_cost + build_cost);
+            drop(tune);
 
             samples.push(QuerySample {
                 exec_millis: res.millis,
@@ -281,6 +325,7 @@ impl<'a> Experiment<'a> {
             final_indices: physical.online_columns().collect(),
             offline: None,
             samples,
+            obs: colt_obs::Snapshot::default(),
         }
     }
 }

@@ -1,0 +1,334 @@
+//! The metrics recorder and its immutable snapshot.
+//!
+//! A [`Recorder`] is plain owned state — no globals, no locks, no
+//! atomics. The intended deployment (see the crate docs) is one
+//! recorder per thread, installed into the thread-local slot for the
+//! duration of a run and merged with sibling snapshots afterwards; the
+//! hot path is therefore a thread-local pointer check plus a `BTreeMap`
+//! bump, and aggregation across threads happens outside the measured
+//! region entirely.
+
+use crate::event::Event;
+use crate::hist::{Histogram, DURATION_US_BUCKETS, GENERIC_BUCKETS};
+use crate::Level;
+use std::collections::BTreeMap;
+
+/// Accumulated timing of one named span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across completions.
+    pub wall_ns: u64,
+    /// Total *simulated* milliseconds attributed to the span (reported
+    /// explicitly by instrumented sites; the deterministic clock has no
+    /// ambient "now").
+    pub sim_ms: f64,
+    /// Wall-clock duration distribution, in microseconds.
+    pub wall_us: Histogram,
+}
+
+impl SpanStats {
+    fn new() -> Self {
+        SpanStats { count: 0, wall_ns: 0, sim_ms: 0.0, wall_us: Histogram::new(DURATION_US_BUCKETS) }
+    }
+
+    /// Total wall-clock milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ns as f64 / 1e6
+    }
+
+    fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.wall_ns += other.wall_ns;
+        self.sim_ms += other.sim_ms;
+        self.wall_us.merge(&other.wall_us);
+    }
+}
+
+/// A mutable metrics recorder: counters, gauges, histograms, span
+/// timings, and the retained structured-event stream.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    level: Level,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, SpanStats>,
+    events: Vec<Event>,
+}
+
+impl Recorder {
+    /// A recorder at the given level. [`Level::Off`] recorders are
+    /// inert: installing one disables all recording on the thread.
+    pub fn new(level: Level) -> Self {
+        Recorder {
+            level,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// A recorder at the level selected by the `COLT_OBS` environment
+    /// variable (see [`Level::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(Level::from_env())
+    }
+
+    /// The recorder's level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Add `n` to a named counter.
+    pub fn add_counter(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Set a named gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Record a value into a named fixed-bucket histogram.
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.hists.entry(name).or_insert_with(|| Histogram::new(GENERIC_BUCKETS)).observe(v);
+    }
+
+    /// Record one completed span of `wall_ns` nanoseconds.
+    pub fn record_span(&mut self, name: &'static str, wall_ns: u64) {
+        let s = self.spans.entry(name).or_insert_with(SpanStats::new);
+        s.count += 1;
+        s.wall_ns += wall_ns;
+        s.wall_us.observe(wall_ns as f64 / 1e3);
+    }
+
+    /// Attribute simulated milliseconds to a named span.
+    pub fn record_span_sim(&mut self, name: &'static str, sim_ms: f64) {
+        self.spans.entry(name).or_insert_with(SpanStats::new).sim_ms += sim_ms;
+    }
+
+    /// Retain a structured event.
+    pub fn record_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Freeze the recorder into a snapshot.
+    pub fn into_snapshot(self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            gauges: self.gauges.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            hists: self.hists.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            spans: self.spans.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            events: self.events,
+        }
+    }
+}
+
+/// An immutable, mergeable snapshot of a recorder's state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Value histograms by name.
+    pub hists: BTreeMap<String, Histogram>,
+    /// Span timings by name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Retained structured events, in record order.
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded (e.g. the run executed at
+    /// [`Level::Off`]).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A span's accumulated stats.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// A span's total wall-clock milliseconds (0 when absent).
+    pub fn span_wall_ms(&self, name: &str) -> f64 {
+        self.spans.get(name).map_or(0.0, SpanStats::wall_ms)
+    }
+
+    /// Fold another snapshot into this one: counters/histograms/spans
+    /// accumulate, gauges take the other's value, events append.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.hists {
+            match self.hists.get_mut(k) {
+                Some(h) if h.bounds() == v.bounds() => h.merge(v),
+                Some(_) | None => {
+                    self.hists.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        for (k, v) in &other.spans {
+            match self.spans.get_mut(k) {
+                Some(s) => s.merge(v),
+                None => {
+                    self.spans.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// The retained event stream as JSONL (one event per line, trailing
+    /// newline when non-empty).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render every metric as a Prometheus-style text dump.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = metric_name(name, "");
+            out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let m = metric_name(name, "");
+            out.push_str(&format!("# TYPE {m} gauge\n{m} {v}\n"));
+        }
+        for (name, h) in &self.hists {
+            write_histogram(&mut out, &metric_name(name, ""), h);
+        }
+        for (name, s) in &self.spans {
+            let base = metric_name(name, "_span");
+            out.push_str(&format!(
+                "# TYPE {base}_wall_seconds_total counter\n{base}_wall_seconds_total {}\n",
+                s.wall_ns as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "# TYPE {base}_sim_ms_total counter\n{base}_sim_ms_total {}\n",
+                s.sim_ms
+            ));
+            write_histogram(&mut out, &format!("{base}_wall_us"), &s.wall_us);
+        }
+        out
+    }
+}
+
+fn write_histogram(out: &mut String, base: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {base} histogram\n"));
+    let cumulative = h.cumulative();
+    for (i, c) in cumulative.iter().enumerate() {
+        let le = match h.bounds().get(i) {
+            Some(b) => b.to_string(),
+            None => "+Inf".to_string(),
+        };
+        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {c}\n"));
+    }
+    out.push_str(&format!("{base}_sum {}\n{base}_count {}\n", h.sum(), h.count()));
+}
+
+/// `organizer.knapsack` → `colt_organizer_knapsack<suffix>`.
+fn metric_name(name: &str, suffix: &str) -> String {
+    let mut m = String::from("colt_");
+    for c in name.chars() {
+        m.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    m.push_str(suffix);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let mut r = Recorder::new(Level::Full);
+        r.add_counter("a.b", 2);
+        r.add_counter("a.b", 3);
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", 2.5);
+        r.observe("h", 50.0);
+        r.record_span("s", 1_500_000); // 1.5 ms
+        r.record_span_sim("s", 9.0);
+        r.record_event(Event::new("e").field("x", 1u64));
+        let s = r.into_snapshot();
+        assert_eq!(s.counter("a.b"), 5);
+        assert_eq!(s.gauges["g"], 2.5);
+        assert_eq!(s.hists["h"].count(), 1);
+        let span = s.span("s").unwrap();
+        assert_eq!(span.count, 1);
+        assert!((span.wall_ms() - 1.5).abs() < 1e-9);
+        assert_eq!(span.sim_ms, 9.0);
+        assert_eq!(s.events.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        assert!(Recorder::new(Level::Off).into_snapshot().is_empty());
+        assert!(Snapshot::default().is_empty());
+        assert_eq!(Snapshot::default().counter("nope"), 0);
+        assert_eq!(Snapshot::default().span_wall_ms("nope"), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_appends() {
+        let mut a = Recorder::new(Level::Full);
+        a.add_counter("c", 1);
+        a.record_span("s", 1_000);
+        a.record_event(Event::new("first"));
+        let mut b = Recorder::new(Level::Full);
+        b.add_counter("c", 2);
+        b.add_counter("d", 7);
+        b.record_span("s", 2_000);
+        b.record_event(Event::new("second"));
+        let mut sa = a.into_snapshot();
+        sa.merge(&b.into_snapshot());
+        assert_eq!(sa.counter("c"), 3);
+        assert_eq!(sa.counter("d"), 7);
+        assert_eq!(sa.span("s").unwrap().count, 2);
+        assert_eq!(sa.span("s").unwrap().wall_ns, 3_000);
+        let kinds: Vec<&str> = sa.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["first", "second"]);
+    }
+
+    #[test]
+    fn prometheus_dump_shape() {
+        let mut r = Recorder::new(Level::Full);
+        r.add_counter("engine.whatif_calls", 12);
+        r.set_gauge("threads", 4.0);
+        r.record_span("organizer.knapsack", 2_000_000);
+        let text = r.into_snapshot().prometheus();
+        assert!(text.contains("# TYPE colt_engine_whatif_calls counter"));
+        assert!(text.contains("colt_engine_whatif_calls 12"));
+        assert!(text.contains("colt_threads 4"));
+        assert!(text.contains("colt_organizer_knapsack_span_wall_seconds_total 0.002"));
+        assert!(text.contains("colt_organizer_knapsack_span_wall_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("colt_organizer_knapsack_span_wall_us_count 1"));
+    }
+}

@@ -121,6 +121,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
     /// Leaves are filled to ~90% occupancy, matching the fill factor of a
     /// freshly built database index.
     pub fn bulk_load(key_width: usize, mut entries: Vec<(K, RowId)>) -> Self {
+        let _span = colt_obs::span("storage.btree.bulk_load");
         let order = default_order(key_width);
         debug_assert!(
             entries.windows(2).all(|w| (&w[0].0, w[0].1) <= (&w[1].0, w[1].1)),
@@ -248,6 +249,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
 
     /// Insert an entry. Duplicate keys are allowed.
     pub fn insert(&mut self, key: K, row: RowId) {
+        colt_obs::counter("storage.btree.inserts", 1);
         let mut io = IoStats::new(); // insert path charging folded into build cost elsewhere
         let ckey = (key, row);
         let (leaf, path) = self.descend(&ckey, &mut io);
@@ -298,6 +300,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
                     (sep, Node::Internal { keys: right_keys, children: right_children })
                 }
             };
+            colt_obs::counter("storage.btree.splits", 1);
             let sib_id = self.alloc(sibling);
             if let Node::Leaf { next, .. } = self.node_mut(node) {
                 *next = Some(sib_id);
@@ -357,12 +360,14 @@ impl<K: TreeKey> BPlusTreeOf<K> {
 
     /// Point lookup: all row ids whose key equals `key`.
     pub fn lookup(&self, key: &K, io: &mut IoStats) -> Vec<RowId> {
+        colt_obs::counter("storage.btree.lookups", 1);
         self.range(Bound::Included(key.clone()), Bound::Included(key.clone()), io)
     }
 
     /// Range scan over `[lo, hi]` bounds. Charges `height` random pages
     /// for the initial descent and one sequential page per further leaf.
     pub fn range(&self, lo: Bound<K>, hi: Bound<K>, io: &mut IoStats) -> Vec<RowId> {
+        colt_obs::counter("storage.btree.ranges", 1);
         let mut out = Vec::new();
         let start_key = match &lo {
             Bound::Included(k) | Bound::Excluded(k) => Some((k.clone(), RowId(0))),

@@ -69,6 +69,7 @@ impl HeapTable {
     /// charged individually: the executor is expected to sort and batch
     /// rowids itself when that matters (see `fetch_sorted`).
     pub fn fetch(&self, id: RowId, io: &mut IoStats) -> Option<&Row> {
+        colt_obs::counter("storage.heap.fetches", 1);
         let row = self.rows.get(id.index())?;
         io.random_pages += 1;
         io.tuples += 1;
@@ -80,6 +81,7 @@ impl HeapTable {
     /// fetch: `k` rowids touching `p` distinct pages cost `p` random page
     /// reads, not `k`.
     pub fn fetch_sorted<'a>(&'a self, ids: &mut Vec<RowId>, io: &mut IoStats) -> Vec<&'a Row> {
+        colt_obs::counter("storage.heap.fetches", ids.len() as u64);
         ids.sort_unstable();
         ids.dedup();
         let per_page = tuples_per_page(self.row_width);
@@ -102,6 +104,7 @@ impl HeapTable {
     /// Full sequential scan. Charges every heap page as a sequential read
     /// and every row as a processed tuple, then yields all rows.
     pub fn scan<'a>(&'a self, io: &mut IoStats) -> impl Iterator<Item = (RowId, &'a Row)> + 'a {
+        colt_obs::counter("storage.heap.scans", 1);
         io.seq_pages += self.page_count() as u64;
         io.tuples += self.rows.len() as u64;
         self.rows.iter().enumerate().map(|(i, r)| (RowId(i as u32), r))

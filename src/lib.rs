@@ -53,6 +53,7 @@ pub use colt_catalog as catalog;
 pub use colt_core as colt;
 pub use colt_engine as engine;
 pub use colt_harness as harness;
+pub use colt_obs as obs;
 pub use colt_offline as offline;
 pub use colt_storage as storage;
 pub use colt_workload as workload;

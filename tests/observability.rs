@@ -1,0 +1,139 @@
+//! The observability contract, end to end:
+//!
+//! * a run under a `Full` recorder yields a snapshot whose per-component
+//!   wall-clock breakdown accounts for the measured run time (the
+//!   unattributed remainder stays under 5%);
+//! * the structured event stream round-trips through the strict in-repo
+//!   JSON parser;
+//! * an `Off` recorder records nothing and costs the default path
+//!   nothing — the samples are identical with and without recording.
+
+use colt_repro::colt::ColtConfig;
+use colt_repro::harness::{component_breakdown, Experiment, Policy};
+use colt_repro::obs::{install, take, Level, Recorder};
+use colt_repro::workload::{generate, presets};
+
+const SCALE: f64 = 0.004;
+const SEED: u64 = 42;
+
+/// Run COLT over the stable preset with recording forced to `level`:
+/// [`Experiment::run`] inherits the level of the recorder installed on
+/// the calling thread, so installing one here controls recording
+/// regardless of the `COLT_OBS` environment.
+fn run_colt_at(level: Level) -> colt_repro::harness::RunResult {
+    let data = generate(SCALE, SEED);
+    let preset = presets::stable(&data, SEED);
+    let prev = install(Recorder::new(level));
+    assert!(prev.is_none(), "test thread must start without a recorder");
+    let result = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: preset.budget_pages,
+            ..Default::default()
+        }))
+        .run();
+    take(); // drop the outer recorder, leaving the thread clean
+    result
+}
+
+#[test]
+fn breakdown_accounts_for_run_time_within_5_percent() {
+    let run = run_colt_at(Level::Full);
+    assert!(!run.obs.is_empty(), "Full-level run must record metrics");
+
+    let b = component_breakdown(&run);
+    assert!(b.total_ms > 0.0, "harness.run span must be measured");
+    let attributed = b.optimize_ms + b.execute_ms + b.tune_ms;
+    assert!(
+        attributed <= b.total_ms * 1.01 + 1.0,
+        "components ({attributed} ms) must not exceed the run ({} ms)",
+        b.total_ms
+    );
+    assert!(
+        b.other_ms <= b.total_ms * 0.05 + 1.0,
+        "unattributed remainder {} ms exceeds 5% of {} ms",
+        b.other_ms,
+        b.total_ms
+    );
+}
+
+#[test]
+fn snapshot_covers_every_layer() {
+    let run = run_colt_at(Level::Full);
+    let s = &run.obs;
+    // Harness layer.
+    assert!(s.counter("harness.queries") > 0);
+    assert!(s.span("harness.run").is_some());
+    // Engine layer.
+    assert!(s.span("engine.optimize").is_some());
+    assert!(s.span("engine.execute").is_some());
+    assert!(s.counter("engine.whatif_calls") > 0);
+    // Tuner layers.
+    assert!(s.span("profiler.profile").is_some());
+    assert!(s.span("tuner.epoch").is_some());
+    assert!(s.span("organizer.knapsack").is_some());
+    // Storage layer.
+    assert!(s.counter("storage.heap.scans") > 0);
+    // Simulated time attribution mirrors the sample accounting.
+    let exec_sim: f64 = run.samples.iter().map(|q| q.exec_millis).sum();
+    let span_sim = s.span("harness.execute").expect("execute span").sim_ms;
+    assert!(
+        (exec_sim - span_sim).abs() < 1e-6,
+        "simulated execute time diverged: samples {exec_sim} vs span {span_sim}"
+    );
+    let tune_sim: f64 = run.samples.iter().map(|q| q.tuning_millis).sum();
+    let tune_span = s.span("harness.tune").expect("tune span").sim_ms;
+    assert!((tune_sim - tune_span).abs() < 1e-6);
+    // Epoch events made it into the retained stream.
+    assert!(s.events.iter().any(|e| e.kind == "epoch"), "epoch events must be retained");
+}
+
+#[test]
+fn event_stream_round_trips_through_core_json() {
+    let run = run_colt_at(Level::Full);
+    let jsonl = run.obs.events_jsonl();
+    assert!(!jsonl.is_empty());
+    for (i, line) in jsonl.lines().enumerate() {
+        let v = colt_repro::colt::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+        assert!(
+            v.get("event").and_then(colt_repro::colt::json::Json::as_str).is_some(),
+            "line {} lacks an event kind",
+            i + 1
+        );
+        // The structural export agrees with the textual sink.
+        assert_eq!(v, colt_repro::colt::event_json(&run.obs.events[i]));
+    }
+    // And the whole snapshot parses as one artifact.
+    let snap_text = colt_repro::colt::snapshot_json(&run.obs).pretty();
+    colt_repro::colt::json::parse(&snap_text).expect("snapshot JSON must parse");
+}
+
+#[test]
+fn off_recorder_records_nothing_and_changes_nothing() {
+    let full = run_colt_at(Level::Full);
+    let off = run_colt_at(Level::Off);
+    assert!(off.obs.is_empty(), "Off-level runs must not record");
+    // The runs themselves are identical: recording is observation only.
+    assert_eq!(full.samples, off.samples);
+    assert_eq!(full.summary_json(), off.summary_json());
+}
+
+#[test]
+fn overhead_summary_folds_spans_into_epochs() {
+    let run = run_colt_at(Level::Full);
+    let summary = run.trace.overhead_summary(&run.obs);
+    let text = summary.pretty();
+    let v = colt_repro::colt::json::parse(&text).expect("overhead summary must parse");
+    use colt_repro::colt::json::Json;
+    let tuner_ms = v.get("tuner_wall_ms").and_then(Json::as_f64).expect("tuner_wall_ms");
+    assert!(tuner_ms > 0.0);
+    let epochs = v.get("epochs").and_then(Json::as_array).expect("epochs");
+    assert_eq!(epochs.len(), run.trace.epochs.len());
+    assert!(!epochs.is_empty(), "the stable preset closes at least one epoch");
+    for e in epochs {
+        let oh = e.get("overhead_wall_ms").and_then(Json::as_f64).expect("overhead field");
+        assert!(oh >= 0.0);
+        assert!(e.get("whatif_used").is_some(), "EpochRecord fields must survive the fold");
+    }
+    assert!(v.get("spans").and_then(|s| s.get("profiler.profile")).is_some());
+}
