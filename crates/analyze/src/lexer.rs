@@ -1,0 +1,412 @@
+//! A minimal Rust lexer: just enough to walk source without being
+//! fooled by comments, strings, raw strings, char literals, or
+//! lifetimes.
+//!
+//! The lints only need identifiers and punctuation with line numbers —
+//! no parsing. Comments are scanned (not discarded) so waiver
+//! annotations (`// colt: allow(lint) — reason`) are collected during
+//! lexing.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `:`, `&`, `{`, …).
+    Punct(char),
+    /// A numeric literal (content irrelevant to every lint).
+    Num,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A `// colt: allow(<lint>) — <reason>` annotation found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the annotation starts on.
+    pub line: u32,
+    /// The waived lint name, as written.
+    pub lint: String,
+    /// The free-text justification after the dash (may be empty — the
+    /// engine reports empty reasons as `bad-waiver`).
+    pub reason: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens outside comments/strings, in source order.
+    pub tokens: Vec<Token>,
+    /// Waiver annotations found in comments.
+    pub waivers: Vec<Waiver>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Scan a comment body for waiver annotations (there may be several in
+/// one block comment).
+fn collect_waivers(body: &str, start_line: u32, out: &mut Vec<Waiver>) {
+    for (i, line) in body.split('\n').enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("colt: allow(") {
+            let after = &rest[pos + "colt: allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let lint = after[..close].trim().to_string();
+            let mut reason = after[close + 1..].trim_start();
+            // Accept an em-dash or one-or-more ASCII dashes as the
+            // lint/reason separator.
+            reason = reason.strip_prefix('—').unwrap_or(reason);
+            reason = reason.trim_start_matches('-').trim();
+            out.push(Waiver {
+                line: start_line + i as u32,
+                lint,
+                reason: reason.to_string(),
+            });
+            rest = &after[close + 1..];
+        }
+    }
+}
+
+/// Lex one file's source text.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    // Advance over `chars[i]`, bumping the line counter on newlines.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' | ' ' | '\t' | '\r' => bump!(),
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment. Doc comments (`///`, `//!`) are rendered
+                // prose — they describe the waiver syntax, they don't
+                // grant waivers.
+                let start = i;
+                let start_line = line;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                let is_doc = matches!(chars.get(start + 2), Some('/') | Some('!'));
+                if !is_doc {
+                    let body: String = chars[start..i].iter().collect();
+                    collect_waivers(&body, start_line, &mut out.waivers);
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nested per Rust rules.
+                let start = i;
+                let start_line = line;
+                let mut depth = 0usize;
+                while i < n {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        bump!();
+                    }
+                }
+                let is_doc = matches!(chars.get(start + 2), Some('*') | Some('!'));
+                if !is_doc {
+                    let body: String = chars[start..i.min(n)].iter().collect();
+                    collect_waivers(&body, start_line, &mut out.waivers);
+                }
+            }
+            '"' => {
+                // String literal with escapes.
+                bump!();
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '"' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if i + 1 < n && chars[i + 1] == '\\' {
+                    // '\n', '\u{..}', … — scan to the closing quote.
+                    bump!();
+                    bump!();
+                    bump!();
+                    while i < n && chars[i] != '\'' {
+                        bump!();
+                    }
+                    if i < n {
+                        bump!();
+                    }
+                } else if i + 2 < n && is_ident_start(chars[i + 1]) && chars[i + 2] != '\'' {
+                    // Lifetime: 'a, 'static — no closing quote.
+                    bump!();
+                    while i < n && is_ident_cont(chars[i]) {
+                        bump!();
+                    }
+                } else {
+                    // 'x' or '(' etc.
+                    bump!();
+                    while i < n && chars[i] != '\'' {
+                        bump!();
+                    }
+                    if i < n {
+                        bump!();
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                out.tokens.push(Token { tok: Tok::Num, line });
+                while i < n && (is_ident_cont(chars[i]) || chars[i] == '.') {
+                    // `0..10` must not swallow the range dots.
+                    if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            _ if is_ident_start(c) => {
+                // Raw strings (r"…", r#"…"#, br#"…"#) and byte literals
+                // (b'…', b"…") start with an identifier character.
+                if (c == 'r' || c == 'b') && raw_string_ahead(&chars, i) {
+                    i = skip_raw_or_byte(&chars, i, &mut line);
+                    continue;
+                }
+                if c == 'r' && i + 1 < n && chars[i + 1] == '#' && i + 2 < n
+                    && is_ident_start(chars[i + 2])
+                {
+                    // Raw identifier r#type — lex as the plain identifier.
+                    i += 2;
+                }
+                let start = i;
+                let tok_line = line;
+                while i < n && is_ident_cont(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line: tok_line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token { tok: Tok::Punct(c), line });
+                bump!();
+            }
+        }
+    }
+    out
+}
+
+/// Does a raw/byte string start at `i` (which holds `r` or `b`)?
+fn raw_string_ahead(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    let mut j = i + 1;
+    if chars[i] == 'b' && j < n && chars[j] == 'r' {
+        j += 1;
+    }
+    if chars[i] == 'b' && j == i + 1 && j < n && (chars[j] == '"' || chars[j] == '\'') {
+        return true; // b"…" or b'…'
+    }
+    while j < n && chars[j] == '#' {
+        j += 1;
+    }
+    j < n && chars[j] == '"' && (chars[i] == 'r' || (chars[i] == 'b' && chars[i + 1] == 'r'))
+}
+
+/// Skip a raw string / byte string / byte char starting at `i`,
+/// returning the index just past it.
+fn skip_raw_or_byte(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    i += 1; // past r or b
+    if i < n && chars[i] == 'r' {
+        i += 1; // br
+    }
+    if i < n && chars[i] == '\'' {
+        // b'x' byte char, possibly escaped.
+        i += 1;
+        if i < n && chars[i] == '\\' {
+            i += 2;
+        }
+        while i < n && chars[i] != '\'' {
+            if chars[i] == '\n' {
+                *line += 1;
+            }
+            i += 1;
+        }
+        return (i + 1).min(n);
+    }
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < n && chars[i] == '"' {
+        i += 1;
+        // Scan to `"` followed by `hashes` hash marks; raw strings have
+        // no escapes.
+        'outer: while i < n {
+            if chars[i] == '\n' {
+                *line += 1;
+            }
+            if chars[i] == '"' {
+                let mut k = 0usize;
+                while k < hashes {
+                    if i + 1 + k >= n || chars[i + 1 + k] != '#' {
+                        i += 1;
+                        continue 'outer;
+                    }
+                    k += 1;
+                }
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Convenience for rules: the identifier text of a token, if any.
+pub fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| ident(t).map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let ids = idents(r#"let x = "Instant HashMap println!"; use y;"#);
+        assert_eq!(ids, ["let", "x", "use", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ids = idents(r###"let s = r#"Instant "quoted" SystemTime"#; done"###);
+        assert_eq!(ids, ["let", "s", "done"].map(String::from));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("a /* one /* two Instant */ still comment */ b");
+        assert_eq!(ids, ["a", "b"]);
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments() {
+        let ids = idents("x // Instant\n/// SystemTime\ny");
+        assert_eq!(ids, ["x", "y"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let ids = idents("let a: &'static str = f('x', '\\n', 'β'); fn g<'a>(v: &'a u8) {}");
+        assert!(!ids.contains(&"static".to_string()), "lifetimes are skipped: {ids:?}");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(!ids.contains(&"x".to_string()), "char literal must not tokenize");
+        assert!(ids.contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let ids = idents(r##"let a = b'q'; let s = b"Instant"; let r = br#"SystemTime"#; end"##);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"end".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<(String, u32)> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| ident(t).map(|s| (s.to_string(), t.line)))
+            .collect();
+        assert_eq!(lines, [("a".into(), 1), ("b".into(), 2), ("c".into(), 4)]);
+    }
+
+    #[test]
+    fn waiver_parsed_with_reason() {
+        let lexed = lex("foo(); // colt: allow(panic-policy) — index is in bounds by loop bound\n");
+        assert_eq!(lexed.waivers.len(), 1);
+        let w = &lexed.waivers[0];
+        assert_eq!(w.line, 1);
+        assert_eq!(w.lint, "panic-policy");
+        assert_eq!(w.reason, "index is in bounds by loop bound");
+    }
+
+    #[test]
+    fn waiver_ascii_dash_and_missing_reason() {
+        let lexed = lex("// colt: allow(wall-clock) - bench timing\n// colt: allow(layering)\n");
+        assert_eq!(lexed.waivers[0].reason, "bench timing");
+        assert_eq!(lexed.waivers[1].lint, "layering");
+        assert_eq!(lexed.waivers[1].reason, "");
+        assert_eq!(lexed.waivers[1].line, 2);
+    }
+
+    #[test]
+    fn waiver_inside_string_is_ignored() {
+        let lexed = lex(r#"let s = "colt: allow(panic-policy) — nope";"#);
+        assert!(lexed.waivers.is_empty());
+    }
+
+    #[test]
+    fn raw_ident_lexes_as_plain() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_produce_identifiers() {
+        let ids = idents("let x = 1e3 + 0xFFu32 + 1_000; for i in 0..10 {}");
+        assert!(!ids.contains(&"e3".to_string()));
+        assert!(!ids.contains(&"xFFu32".to_string()));
+        assert!(ids.contains(&"for".to_string()));
+    }
+}

@@ -1,0 +1,125 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! colt-analyze --check [--json] [--root <path>]   # scan; exit 1 on violations
+//! colt-analyze --list                             # lint catalogue
+//! colt-analyze --explain <lint>                   # long-form description
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use colt_analyze::rules::Lint;
+
+const USAGE: &str = "\
+colt-analyze: workspace invariant checker
+
+USAGE:
+    colt-analyze --check [--json] [--root <path>]
+    colt-analyze --list
+    colt-analyze --explain <lint-name>
+
+MODES:
+    --check     Scan every .rs file under the workspace root and report
+                violations as `file:line: lint-name: message`.
+                Exit code 0 if clean, 1 if violations were found.
+    --json      With --check: emit the JSON summary instead of text.
+    --root      Override the workspace root (default: inferred from the
+                crate's own location).
+    --list      Print the lint catalogue (name + one-line summary).
+    --explain   Print the long-form description of one lint.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<&str> = None;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut explain_target: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => mode = Some("check"),
+            "--list" => mode = Some("list"),
+            "--explain" => {
+                mode = Some("explain");
+                i += 1;
+                match args.get(i) {
+                    Some(name) => explain_target = Some(name.clone()),
+                    None => {
+                        eprintln!("error: --explain requires a lint name\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --root requires a path\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    match mode {
+        Some("list") => {
+            for lint in Lint::all() {
+                println!("{:<16} {}", lint.name(), lint.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("explain") => {
+            let name = explain_target.unwrap_or_default();
+            match Lint::by_name(&name) {
+                Some(lint) => {
+                    println!("{}: {}\n\n{}", lint.name(), lint.summary(), lint.explain());
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("error: unknown lint `{name}`; try --list");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("check") => {
+            let root = root.unwrap_or_else(colt_analyze::workspace_root);
+            match colt_analyze::check_workspace(&root) {
+                Ok(report) => {
+                    if json {
+                        println!("{}", report.to_json());
+                    } else {
+                        print!("{}", report.render());
+                    }
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: scan of {} failed: {e}", root.display());
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            eprintln!("error: pick one of --check, --list, --explain\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! The lint catalogue and per-file rule checks.
+//!
+//! Each lint enforces one workspace contract (see DESIGN.md, "Static
+//! analysis & invariants"). Rules work on the token stream of
+//! [`crate::lexer::lex`] — identifier- and punctuation-level matching,
+//! no parsing — so they are fast, dependency-free, and immune to
+//! comment/string false positives.
+
+use crate::lexer::{ident, Tok, Token};
+use crate::SourceFile;
+use std::collections::BTreeSet;
+
+/// A named workspace invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Wall-clock reads outside the observability/harness allowlist.
+    WallClock,
+    /// Iteration over `HashMap`/`HashSet` in result-producing crates.
+    HashIteration,
+    /// A `colt_*` import that violates the crate layering DAG.
+    Layering,
+    /// stdout/stderr writes outside the sanctioned sinks.
+    OutputHygiene,
+    /// `unwrap`/`expect`/`panic!` in non-test library code.
+    PanicPolicy,
+    /// Ambient randomness or env-dependent behavior in the kernel.
+    NondetSeed,
+    /// Any `unsafe` code (the workspace forbids it).
+    UnsafeCode,
+    /// A waiver annotation without a justification.
+    BadWaiver,
+    /// A waiver annotation that suppressed nothing.
+    UnusedWaiver,
+}
+
+impl Lint {
+    /// Every lint, in reporting order.
+    pub fn all() -> &'static [Lint] {
+        &[
+            Lint::WallClock,
+            Lint::HashIteration,
+            Lint::Layering,
+            Lint::OutputHygiene,
+            Lint::PanicPolicy,
+            Lint::NondetSeed,
+            Lint::UnsafeCode,
+            Lint::BadWaiver,
+            Lint::UnusedWaiver,
+        ]
+    }
+
+    /// The kebab-case name used in reports and waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::WallClock => "wall-clock",
+            Lint::HashIteration => "hash-iteration",
+            Lint::Layering => "layering",
+            Lint::OutputHygiene => "output-hygiene",
+            Lint::PanicPolicy => "panic-policy",
+            Lint::NondetSeed => "nondet-seed",
+            Lint::UnsafeCode => "unsafe-code",
+            Lint::BadWaiver => "bad-waiver",
+            Lint::UnusedWaiver => "unused-waiver",
+        }
+    }
+
+    /// Look a lint up by its report name.
+    pub fn by_name(name: &str) -> Option<Lint> {
+        Lint::all().iter().copied().find(|l| l.name() == name)
+    }
+
+    /// One-line summary (for `--list`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Lint::WallClock => "no Instant/SystemTime outside colt-obs, the parallel harness, and colt-bench",
+            Lint::HashIteration => "no HashMap/HashSet iteration in colt-core/colt-engine (order is nondeterministic)",
+            Lint::Layering => "colt_* imports must follow the DAG obs < storage < catalog < engine < {core, workload, offline} < harness < bench",
+            Lint::OutputHygiene => "stdout only in bench bins / harness report; stderr only through the colt-obs sink",
+            Lint::PanicPolicy => "no unwrap/expect/panic!/unreachable!/todo! in non-test library code",
+            Lint::NondetSeed => "no ambient randomness anywhere; no env reads in the deterministic kernel crates",
+            Lint::UnsafeCode => "no unsafe code anywhere in the workspace",
+            Lint::BadWaiver => "every waiver must carry a justification after the dash",
+            Lint::UnusedWaiver => "a waiver that suppresses nothing is an error (it has rotted)",
+        }
+    }
+
+    /// Full rationale (for `--explain`).
+    pub fn explain(self) -> &'static str {
+        match self {
+            Lint::WallClock => "The experiment pipeline's headline contract is bit-identical \
+artifacts at any thread count and any COLT_OBS level. Reading the wall clock \
+(std::time::Instant / SystemTime) inside result-producing code couples output to \
+scheduling. Wall-clock reads are confined to colt-obs (span timing), \
+colt-harness's parallel driver (cell wall-time, stderr only), and colt-bench \
+(micro-benchmark runner). Everything else must use the simulated clock that the \
+cost model provides.",
+            Lint::HashIteration => "std::collections::HashMap/HashSet iterate in an order that \
+depends on the process-random hasher seed, so any result derived from iteration \
+order is nondeterministic across runs. In colt-core and colt-engine — the crates \
+that produce experiment results — maps that are iterated must be BTreeMap/BTreeSet \
+or must sort before iterating, and hash-keyed struct fields (persistent state) are \
+flagged even without iteration. Pure point-lookup hash map locals (e.g. a hash-join \
+build table) are fine and are not flagged.",
+            Lint::Layering => "Crates form a DAG: obs < storage < catalog < engine < \
+{core, workload, offline} < harness < bench. A lower layer importing a higher one \
+(e.g. colt-engine using colt_core) creates a cycle Cargo may tolerate via dev-deps \
+but the architecture does not. The checker flags any colt_* path reference outside \
+the importing crate's allowed set. Test code is exempt (dev-dependencies are not \
+part of the runtime DAG).",
+            Lint::OutputHygiene => "Experiment stdout is a diffable artifact: CI compares it \
+byte-for-byte across thread counts and COLT_OBS levels. A stray println! in a \
+library crate breaks every exhibit at once. stdout writes are allowed only in \
+colt-bench's binaries, colt-analyze's own CLI, and colt_harness::report; stderr \
+writes only inside colt-obs's sink (everything else routes diagnostics through \
+colt_obs::progress / emit).",
+            Lint::PanicPolicy => "Library code must surface failures to the caller, not abort \
+the process: a panic inside the tuner kills a whole parallel batch. unwrap(), \
+expect(), panic!, unreachable!, todo! and unimplemented! are banned in non-test \
+library code unless the line carries a waiver naming the invariant that makes the \
+panic unreachable.",
+            Lint::NondetSeed => "All randomness flows from colt_core::prng::Prng (or \
+colt-storage's local copy) seeded explicitly from configuration, so every run is \
+replayable. Ambient sources (RandomState, DefaultHasher, thread_rng, from_entropy) \
+are banned everywhere; reading the environment (std::env::var) is banned inside \
+the deterministic kernel crates (storage, catalog, engine, core, workload, \
+offline) — configuration enters through ColtConfig, not ambient state.",
+            Lint::UnsafeCode => "The workspace forbids unsafe code: every library crate carries \
+#![forbid(unsafe_code)] (colt-harness #![deny(unsafe_code)], see its lib.rs). The \
+static check catches the token early and in files the compiler attributes might \
+miss (new crates, build scripts).",
+            Lint::BadWaiver => "The single escape hatch for every lint is \
+`// colt: allow(<lint>) — <reason>` on the flagged line or the line above. A \
+waiver with no reason defeats auditing — the reviewer cannot tell why the \
+violation is acceptable.",
+            Lint::UnusedWaiver => "Waivers rot: the code they excused gets refactored away and \
+the stale annotation then silently licenses a future violation. A waiver that \
+suppresses no violation is itself reported, so the waiver set always matches the \
+real exception set.",
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated lint.
+    pub lint: Lint,
+    /// Human message.
+    pub message: String,
+}
+
+impl Violation {
+    /// `file:line: lint-name: message` — the CI-greppable format.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.lint.name(), self.message)
+    }
+}
+
+/// File role within its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Library source (`crates/*/src/**`, root `src/lib.rs`).
+    Lib,
+    /// Binary source (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Tests, benches, examples — exempt from most rules.
+    Test,
+}
+
+/// Crates whose results must be bit-deterministic (the "kernel").
+const KERNEL: &[&str] = &["storage", "catalog", "engine", "core", "workload", "offline"];
+
+/// Every crate in the workspace, by `colt_`-stripped name. Used to tell
+/// a real `colt_engine` crate reference apart from an unrelated local
+/// identifier that merely starts with `colt_`.
+const WORKSPACE_CRATES: &[&str] = &[
+    "obs", "storage", "catalog", "engine", "core", "workload", "offline", "harness", "bench",
+    "analyze", "repro",
+];
+
+/// The layering DAG: which `colt_*` crates each crate may reference.
+/// `None` means "any" (the root crate, bench, tests).
+fn allowed_deps(krate: &str) -> Option<&'static [&'static str]> {
+    match krate {
+        "obs" | "analyze" => Some(&[]),
+        "storage" => Some(&["obs"]),
+        "catalog" => Some(&["obs", "storage"]),
+        "engine" => Some(&["obs", "storage", "catalog"]),
+        "core" | "workload" | "offline" => Some(&["obs", "storage", "catalog", "engine"]),
+        "harness" => {
+            Some(&["obs", "storage", "catalog", "engine", "core", "workload", "offline"])
+        }
+        _ => None, // bench, the root crate: top of the DAG
+    }
+}
+
+/// Hash-typed iteration methods whose order depends on the hasher seed.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "into_keys", "into_values",
+    "drain", "retain",
+];
+
+/// Ambient-randomness identifiers banned workspace-wide.
+const AMBIENT_RANDOM: &[&str] =
+    &["RandomState", "DefaultHasher", "thread_rng", "from_entropy", "SipHasher"];
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Compute `#[cfg(test)]` line regions from the token stream: the
+/// attribute plus the item it covers (brace-matched block, or through
+/// the terminating `;`).
+pub fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 5 < tokens.len() {
+        let is_cfg_test = tokens[i].tok == Tok::Punct('#')
+            && tokens[i + 1].tok == Tok::Punct('[')
+            && ident(&tokens[i + 2]) == Some("cfg")
+            && tokens[i + 3].tok == Tok::Punct('(')
+            && ident(&tokens[i + 4]) == Some("test")
+            && tokens[i + 5].tok == Tok::Punct(')');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Find the covered item's extent: first `{` opens a
+        // brace-matched block; a `;` before any `{` ends the item.
+        let mut j = i + 6;
+        let mut end_line = start_line;
+        let mut depth = 0usize;
+        let mut opened = false;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => {
+                    depth += 1;
+                    opened = true;
+                }
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        end_line = tokens[j].line;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if !opened => {
+                    end_line = tokens[j].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[j].line;
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Run every rule over one file, producing raw (pre-waiver) violations.
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let toks = &file.lexed.tokens;
+    let test = |line: u32| file.kind == Kind::Test || in_regions(&file.test_regions, line);
+    let push = |out: &mut Vec<Violation>, line: u32, lint: Lint, message: String| {
+        out.push(Violation { file: file.rel.clone(), line, lint, message });
+    };
+    let krate = file.crate_name.as_deref();
+
+    // --- wall-clock ---
+    let wall_allowed = matches!(krate, Some("obs") | Some("bench") | Some("analyze"))
+        || (krate == Some("harness") && file.rel.ends_with("parallel.rs"));
+    // --- hash-iteration: collect hash-typed binding names first ---
+    let hash_scope = matches!(krate, Some("core") | Some("engine")) && file.kind == Kind::Lib;
+    let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+    if hash_scope {
+        for i in 0..toks.len() {
+            if matches!(ident(&toks[i]), Some("HashMap") | Some("HashSet")) && i >= 2 {
+                let prev = &toks[i - 1].tok;
+                if (*prev == Tok::Punct(':') || *prev == Tok::Punct('='))
+                    && toks[i - 2].tok != Tok::Punct(':')
+                {
+                    if let Some(name) = ident(&toks[i - 2]) {
+                        hash_names.insert(name);
+                        // A hash-keyed *struct field* is persistent kernel
+                        // state and is flagged outright: even if lookup-only
+                        // today, it is one refactor away from leaking hash
+                        // order into results. Locals (build tables etc.) are
+                        // only flagged when actually iterated.
+                        let field = *prev == Tok::Punct(':')
+                            && toks[..i - 1].iter().rev().find_map(|t| match ident(t) {
+                                Some("let") | Some("fn") => Some(false),
+                                Some("struct") => Some(true),
+                                _ => None,
+                            }) == Some(true);
+                        if field && !(file.kind == Kind::Test || in_regions(&file.test_regions, toks[i].line)) {
+                            out.push(Violation {
+                                file: file.rel.clone(),
+                                line: toks[i].line,
+                                lint: Lint::HashIteration,
+                                message: format!("hash-keyed struct field `{name}`: persistent state in a kernel crate must be BTreeMap/BTreeSet (hash order leaks into results)"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if test(line) {
+            continue;
+        }
+        let Some(id) = ident(&toks[i]) else { continue };
+        let next = toks.get(i + 1).map(|t| &t.tok);
+        let next2 = toks.get(i + 2).map(|t| &t.tok);
+
+        // wall-clock
+        if !wall_allowed && (id == "Instant" || id == "SystemTime") {
+            push(
+                &mut out,
+                line,
+                Lint::WallClock,
+                format!("`{id}` read outside the wall-clock allowlist (colt-obs, harness parallel driver, colt-bench); use the simulated clock"),
+            );
+        }
+
+        // nondet-seed: ambient randomness (everywhere) and env reads
+        // (kernel crates only).
+        if AMBIENT_RANDOM.contains(&id) {
+            push(
+                &mut out,
+                line,
+                Lint::NondetSeed,
+                format!("ambient randomness `{id}`; all randomness must flow from an explicitly seeded Prng"),
+            );
+        }
+        if id == "env"
+            && next == Some(&Tok::Punct(':'))
+            && next2 == Some(&Tok::Punct(':'))
+            && matches!(toks.get(i + 3).and_then(|t| ident(t)), Some("var") | Some("var_os"))
+            && krate.is_some_and(|k| KERNEL.contains(&k))
+        {
+            push(
+                &mut out,
+                line,
+                Lint::NondetSeed,
+                "environment read inside a deterministic kernel crate; thread configuration through ColtConfig".to_string(),
+            );
+        }
+
+        // unsafe-code
+        if id == "unsafe" {
+            push(&mut out, line, Lint::UnsafeCode, "unsafe code is forbidden workspace-wide".to_string());
+        }
+
+        // layering — only identifiers that name an actual workspace
+        // crate count; locals like `colt_total` are not crate edges.
+        if let Some(target) = id.strip_prefix("colt_").filter(|t| WORKSPACE_CRATES.contains(t)) {
+            if file.kind != Kind::Test {
+                if let Some(k) = krate {
+                    if let Some(allowed) = allowed_deps(k) {
+                        if target != k && !allowed.contains(&target) {
+                            push(
+                                &mut out,
+                                line,
+                                Lint::Layering,
+                                format!("crate colt-{k} must not reference colt_{target}: the layering DAG only allows {{{}}}", allowed.join(", ")),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // output-hygiene
+        let is_macro = next == Some(&Tok::Punct('!'));
+        let stdout_allowed = (krate == Some("bench") && file.kind == Kind::Bin)
+            || (krate == Some("analyze") && file.kind == Kind::Bin)
+            || (krate == Some("harness") && file.rel.ends_with("report.rs"));
+        let stderr_allowed = stdout_allowed || krate == Some("obs");
+        if is_macro && (id == "println" || id == "print") && !stdout_allowed {
+            push(
+                &mut out,
+                line,
+                Lint::OutputHygiene,
+                format!("`{id}!` outside bench binaries / harness report; stdout is a diffable artifact — route output through the caller or the event sink"),
+            );
+        }
+        if id == "stdout" && next == Some(&Tok::Punct('(')) && !stdout_allowed {
+            push(
+                &mut out,
+                line,
+                Lint::OutputHygiene,
+                "direct stdout() handle outside bench binaries / harness report".to_string(),
+            );
+        }
+        if is_macro && (id == "eprintln" || id == "eprint" || id == "dbg") && !stderr_allowed {
+            push(
+                &mut out,
+                line,
+                Lint::OutputHygiene,
+                format!("`{id}!` outside the colt-obs sink; route diagnostics through colt_obs::progress / emit"),
+            );
+        }
+
+        // panic-policy (library code only; binaries may abort).
+        if file.kind == Kind::Lib {
+            let method_call = i >= 1
+                && toks[i - 1].tok == Tok::Punct('.')
+                && next == Some(&Tok::Punct('('));
+            if method_call && (id == "unwrap" || id == "expect") {
+                // `.expect(...)?` is error propagation through a
+                // user-defined Result-returning method (e.g. the parser's
+                // `expect(Tok::…)?`), not Option/Result::expect aborting.
+                let mut j = i + 2; // first token inside the parens
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match toks.get(j).map(|t| &t.tok) {
+                        Some(Tok::Punct('(')) => depth += 1,
+                        Some(Tok::Punct(')')) => depth -= 1,
+                        None => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let propagated = toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct('?'));
+                if !propagated {
+                    push(
+                        &mut out,
+                        line,
+                        Lint::PanicPolicy,
+                        format!(".{id}() in library code; return an error or waive with the invariant that rules the panic out"),
+                    );
+                }
+            }
+            if is_macro
+                && matches!(id, "panic" | "unreachable" | "todo" | "unimplemented")
+            {
+                push(
+                    &mut out,
+                    line,
+                    Lint::PanicPolicy,
+                    format!("`{id}!` in library code; return an error or waive with the invariant that rules the panic out"),
+                );
+            }
+        }
+
+        // hash-iteration
+        if hash_scope {
+            let receiver_is_hash = hash_names.contains(id);
+            if receiver_is_hash
+                && next == Some(&Tok::Punct('.'))
+                && toks
+                    .get(i + 2)
+                    .and_then(|t| ident(t))
+                    .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+                && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct('('))
+            {
+                let method = ident(&toks[i + 2]).unwrap_or("");
+                push(
+                    &mut out,
+                    line,
+                    Lint::HashIteration,
+                    format!("`.{method}()` on hash-typed `{id}`: iteration order is nondeterministic — use BTreeMap/BTreeSet or sort first"),
+                );
+            }
+            // `for x in &name {` / `for (k, v) in name {`
+            if id == "in" {
+                let mut j = i + 1;
+                loop {
+                    match toks.get(j).map(|t| &t.tok) {
+                        Some(Tok::Punct('&')) => j += 1,
+                        Some(Tok::Ident(s)) if s == "mut" => j += 1,
+                        _ => break,
+                    }
+                }
+                let mut last_ident: Option<&str> = None;
+                while let Some(t) = toks.get(j) {
+                    match &t.tok {
+                        Tok::Ident(s) => last_ident = Some(s.as_str()),
+                        Tok::Punct('.') => {}
+                        Tok::Punct('{') => break,
+                        _ => {
+                            last_ident = None;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(name) = last_ident {
+                    if hash_names.contains(name) {
+                        push(
+                            &mut out,
+                            line,
+                            Lint::HashIteration,
+                            format!("`for … in {name}` iterates a hash map: order is nondeterministic — use BTreeMap/BTreeSet or sort first"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_names_round_trip() {
+        for &l in Lint::all() {
+            assert_eq!(Lint::by_name(l.name()), Some(l));
+            assert!(!l.summary().is_empty());
+            assert!(!l.explain().is_empty());
+        }
+        assert_eq!(Lint::by_name("no-such-lint"), None);
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let lexed = crate::lexer::lex(src);
+        let regions = test_regions(&lexed.tokens);
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_region_is_one_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let lexed = crate::lexer::lex(src);
+        let regions = test_regions(&lexed.tokens);
+        assert_eq!(regions, vec![(1, 2)]);
+    }
+}

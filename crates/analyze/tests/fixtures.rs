@@ -1,0 +1,117 @@
+//! The fixture corpus: every file in `tests/fixtures/` declares, on its
+//! first line, the workspace path it impersonates and the lint set it
+//! must trigger:
+//!
+//! ```text
+//! //! analyze-fixture: path=crates/core/src/fixture.rs expect=hash-iteration
+//! //! analyze-fixture: path=crates/core/src/fixture.rs expect=clean
+//! ```
+//!
+//! `_violation` fixtures must trigger exactly their intended lint;
+//! `_waived` fixtures carry waivers and must come out clean (which also
+//! proves the waivers themselves count as used).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+struct Fixture {
+    file: String,
+    path: String,
+    expect: BTreeSet<String>,
+    source: String,
+}
+
+fn parse_directive(file: &str, src: &str) -> Fixture {
+    let first = src.lines().next().unwrap_or_default();
+    let rest = first
+        .strip_prefix("//! analyze-fixture:")
+        .unwrap_or_else(|| panic!("{file}: first line must be an analyze-fixture directive"));
+    let mut path = None;
+    let mut expect = BTreeSet::new();
+    for part in rest.split_whitespace() {
+        if let Some(p) = part.strip_prefix("path=") {
+            path = Some(p.to_string());
+        } else if let Some(e) = part.strip_prefix("expect=") {
+            for lint in e.split(',') {
+                if lint != "clean" {
+                    expect.insert(lint.to_string());
+                }
+            }
+        }
+    }
+    Fixture {
+        file: file.to_string(),
+        path: path.unwrap_or_else(|| panic!("{file}: directive missing path=")),
+        expect,
+        source: src.to_string(),
+    }
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let mut out = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "fixture corpus must not be empty");
+    for p in entries {
+        let name = p.file_name().unwrap_or_default().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&p).expect("fixture readable");
+        out.push(parse_directive(&name, &src));
+    }
+    out
+}
+
+#[test]
+fn every_fixture_triggers_exactly_its_intended_lints() {
+    for f in load_fixtures() {
+        let violations = colt_analyze::analyze_source(&f.path, &f.source);
+        let got: BTreeSet<String> =
+            violations.iter().map(|v| v.lint.name().to_string()).collect();
+        assert_eq!(
+            got, f.expect,
+            "{}: expected lints {:?}, got {:?} ({:#?})",
+            f.file, f.expect, got, violations
+        );
+    }
+}
+
+#[test]
+fn every_lint_has_a_positive_fixture() {
+    let covered: BTreeSet<String> =
+        load_fixtures().into_iter().flat_map(|f| f.expect).collect();
+    for lint in colt_analyze::rules::Lint::all() {
+        assert!(
+            covered.contains(lint.name()),
+            "no fixture triggers lint `{}`",
+            lint.name()
+        );
+    }
+}
+
+#[test]
+fn violation_fixtures_report_real_lines() {
+    for f in load_fixtures() {
+        for v in colt_analyze::analyze_source(&f.path, &f.source) {
+            let lines = f.source.lines().count() as u32;
+            assert!(
+                v.line >= 1 && v.line <= lines,
+                "{}: violation line {} out of range 1..={lines}",
+                f.file,
+                v.line
+            );
+            assert_eq!(v.file, f.path);
+            let rendered = v.render();
+            assert!(
+                rendered.starts_with(&format!("{}:{}: {}:", v.file, v.line, v.lint.name())),
+                "render format drifted: {rendered}"
+            );
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=bad-waiver
+// colt: allow(panic-policy)
+pub fn nothing() {}

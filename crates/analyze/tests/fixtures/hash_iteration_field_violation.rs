@@ -1,0 +1,14 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=hash-iteration
+//! Persistent hash-keyed state is flagged even without iteration — the
+//! shape the `cluster.rs` BTreeMap fix guards against.
+use std::collections::HashMap;
+
+pub struct ClusterIndex {
+    by_key: HashMap<String, u32>,
+}
+
+impl ClusterIndex {
+    pub fn get(&self, key: &str) -> Option<u32> {
+        self.by_key.get(key).copied()
+    }
+}

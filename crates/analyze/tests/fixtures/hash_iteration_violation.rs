@@ -1,0 +1,12 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=hash-iteration
+use std::collections::HashMap;
+
+pub fn keys_in_hash_order() -> Vec<u32> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, _) in &m {
+        out.push(*k);
+    }
+    out
+}

@@ -1,0 +1,14 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=clean
+use std::collections::HashMap;
+
+pub fn keys_sorted() -> Vec<u32> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let mut out = Vec::new();
+    // colt: allow(hash-iteration) — fixture: output is sorted immediately below
+    for (k, _) in &m {
+        out.push(*k);
+    }
+    out.sort_unstable();
+    out
+}

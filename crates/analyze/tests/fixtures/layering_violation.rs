@@ -1,0 +1,6 @@
+//! analyze-fixture: path=crates/storage/src/fixture.rs expect=layering
+use colt_engine::Query;
+
+pub fn peek(q: &Query) -> usize {
+    q.tables.len()
+}

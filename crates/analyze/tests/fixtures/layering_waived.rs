@@ -1,0 +1,7 @@
+//! analyze-fixture: path=crates/storage/src/fixture.rs expect=clean
+// colt: allow(layering) — fixture: transitional shim scheduled for removal
+use colt_engine::Query;
+
+pub fn peek(q: &Query) -> usize {
+    q.tables.len()
+}

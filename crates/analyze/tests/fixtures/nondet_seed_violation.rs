@@ -1,0 +1,6 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=nondet-seed
+use std::collections::hash_map::RandomState;
+
+pub fn ambient() -> RandomState {
+    RandomState::new()
+}

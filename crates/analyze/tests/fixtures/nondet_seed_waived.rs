@@ -1,0 +1,9 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=clean
+// colt: allow(nondet-seed) — fixture: hasher state never observable in results
+use std::collections::hash_map::RandomState;
+
+pub fn ambient() -> bool {
+    // colt: allow(nondet-seed) — fixture: hasher state never observable in results
+    let _state = RandomState::new();
+    true
+}

@@ -1,0 +1,4 @@
+//! analyze-fixture: path=crates/engine/src/fixture.rs expect=output-hygiene
+pub fn report(rows: usize) {
+    println!("rows: {rows}");
+}

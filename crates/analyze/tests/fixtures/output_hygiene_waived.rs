@@ -1,0 +1,5 @@
+//! analyze-fixture: path=crates/engine/src/fixture.rs expect=clean
+pub fn report(rows: usize) {
+    // colt: allow(output-hygiene) — fixture: debugging aid behind a feature gate
+    println!("rows: {rows}");
+}

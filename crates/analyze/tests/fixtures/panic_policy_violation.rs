@@ -1,0 +1,4 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=panic-policy
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=clean
+pub fn first(xs: &[u32]) -> u32 {
+    // colt: allow(panic-policy) — fixture: caller guarantees a non-empty slice
+    *xs.first().unwrap()
+}

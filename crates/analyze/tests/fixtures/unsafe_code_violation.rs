@@ -1,0 +1,4 @@
+//! analyze-fixture: path=crates/storage/src/fixture.rs expect=unsafe-code
+pub fn read_raw(x: &u32) -> u32 {
+    unsafe { std::ptr::read(x) }
+}

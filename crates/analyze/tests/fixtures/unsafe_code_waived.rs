@@ -1,0 +1,5 @@
+//! analyze-fixture: path=crates/storage/src/fixture.rs expect=clean
+pub fn read_raw(x: &u32) -> u32 {
+    // colt: allow(unsafe-code) — fixture: sound by &u32 validity; mirrors ptr::read docs
+    unsafe { std::ptr::read(x) }
+}

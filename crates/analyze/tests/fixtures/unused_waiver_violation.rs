@@ -1,0 +1,3 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=unused-waiver
+// colt: allow(panic-policy) — nothing on this line or the next can panic
+pub fn nothing() {}

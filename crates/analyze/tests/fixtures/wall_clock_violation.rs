@@ -1,0 +1,7 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=wall-clock
+use std::time::Instant;
+
+pub fn elapsed_ms() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64() * 1e3
+}

@@ -1,0 +1,9 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=clean
+// colt: allow(wall-clock) — fixture: timing never reaches results
+use std::time::Instant;
+
+pub fn elapsed_ms() -> f64 {
+    // colt: allow(wall-clock) — fixture: timing never reaches results
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64() * 1e3
+}

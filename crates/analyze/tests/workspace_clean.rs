@@ -1,0 +1,16 @@
+//! The shipped tree must be lint-clean: every wall-clock read, hash
+//! iteration, print, and panic site is either structurally fine or
+//! carries a reasoned waiver. This is the analyzer's own copy of the
+//! check each library crate also runs.
+
+#[test]
+fn shipped_workspace_has_no_violations() {
+    let root = colt_analyze::workspace_root();
+    let report = colt_analyze::check_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -1,0 +1,162 @@
+//! Tuner-overhead regression gate (ROADMAP item).
+//!
+//! Runs the Figure 5 shifting workload once per trial with span
+//! recording forced on, computes `Trace::overhead_summary`'s
+//! `tuner_wall_ms` (profiling + epoch-boundary work, real wall-clock)
+//! per query, and compares the best of `TRIALS` trials against the
+//! checked-in baseline:
+//!
+//! ```text
+//! overhead_gate                    # gate: exit 1 if > 1.5× baseline
+//! overhead_gate --write-baseline   # refresh the baseline file
+//! overhead_gate --baseline <path>  # non-default baseline location
+//! ```
+//!
+//! The baseline records the `COLT_SCALE`/`COLT_SEED` it was measured at;
+//! the gate refuses to compare across different workload shapes (exit
+//! 2). Taking the minimum over trials keeps scheduler noise out of the
+//! numerator; the 1.5× margin absorbs what remains.
+
+use colt_bench::{build_data, scale, seed};
+use colt_core::json::Json;
+use colt_core::ColtConfig;
+use colt_harness::{Experiment, Policy};
+use colt_workload::presets;
+use std::process::ExitCode;
+
+/// Trials per measurement; the minimum wall time is used.
+const TRIALS: usize = 3;
+/// Gate threshold: fail when current exceeds baseline by this factor.
+const THRESHOLD: f64 = 1.5;
+
+fn default_baseline_path() -> String {
+    format!("{}/baselines/overhead_baseline.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// One measured run: (tuner wall ms, query count).
+fn measure_once(data: &colt_workload::TpchData) -> (f64, usize) {
+    let preset = presets::shifting(data, seed());
+    let cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
+    // Force span recording regardless of COLT_OBS: Experiment::run
+    // inherits the level of a pre-installed recorder.
+    let prev = colt_obs::install(colt_obs::Recorder::new(colt_obs::Level::Summary));
+    let result = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run();
+    match prev {
+        Some(r) => {
+            colt_obs::install(r);
+        }
+        None => {
+            colt_obs::take();
+        }
+    }
+    let summary = result.trace.overhead_summary(&result.obs);
+    let wall = match summary.get("tuner_wall_ms") {
+        Some(Json::Float(f)) => *f,
+        _ => 0.0,
+    };
+    (wall, preset.queries.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write-baseline");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(default_baseline_path);
+
+    let data = build_data();
+    let mut best_wall = f64::INFINITY;
+    let mut queries = 0usize;
+    for trial in 0..TRIALS {
+        let (wall, n) = measure_once(&data);
+        println!("  trial {}: tuner wall {:.2} ms over {} queries", trial + 1, wall, n);
+        best_wall = best_wall.min(wall);
+        queries = n;
+    }
+    let per_query = best_wall / queries.max(1) as f64;
+    println!(
+        "# Tuner overhead: best of {TRIALS} trials = {best_wall:.2} ms / {queries} queries = {:.4} ms/query (scale {}, seed {})",
+        per_query,
+        scale(),
+        seed()
+    );
+
+    if write {
+        let json = Json::obj(vec![
+            ("scale", Json::Float(scale())),
+            ("seed", Json::UInt(seed())),
+            ("queries", Json::UInt(queries as u64)),
+            ("tuner_wall_ms", Json::Float(best_wall)),
+            ("tuner_wall_ms_per_query", Json::Float(per_query)),
+        ])
+        .pretty();
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("error: cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: no baseline at {baseline_path} ({e}); run with --write-baseline first"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let base = match colt_core::json::parse(&raw) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: malformed baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_f = |key: &str| -> Option<f64> {
+        match base.get(key) {
+            Some(Json::Float(f)) => Some(*f),
+            Some(Json::UInt(u)) => Some(*u as f64),
+            Some(Json::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    let (Some(base_scale), Some(base_per_query)) =
+        (base_f("scale"), base_f("tuner_wall_ms_per_query"))
+    else {
+        eprintln!("error: baseline {baseline_path} is missing scale/tuner_wall_ms_per_query");
+        return ExitCode::from(2);
+    };
+    if (base_scale - scale()).abs() > 1e-12 {
+        eprintln!(
+            "error: baseline was measured at COLT_SCALE={base_scale}, current run is {}; \
+             pin COLT_SCALE or refresh with --write-baseline",
+            scale()
+        );
+        return ExitCode::from(2);
+    }
+
+    let limit = base_per_query * THRESHOLD;
+    println!(
+        "  baseline {:.4} ms/query, limit {THRESHOLD}x = {:.4} ms/query",
+        base_per_query, limit
+    );
+    if per_query > limit {
+        println!(
+            "FAIL: tuner overhead {per_query:.4} ms/query exceeds {THRESHOLD}x baseline ({base_per_query:.4} ms/query)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("OK: tuner overhead within budget");
+        ExitCode::SUCCESS
+    }
+}

@@ -16,6 +16,8 @@
 //! Results are printed to stdout in a form that pastes directly into
 //! `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 use colt_workload::{generate, TpchData, DEFAULT_SCALE};
 
 /// Data scale from `COLT_SCALE` (default [`DEFAULT_SCALE`]).
@@ -69,11 +71,15 @@ pub fn dump_obs(report: &colt_harness::ParallelReport) {
     let jsonl = format!("{path}.jsonl");
     let prom = format!("{path}.prom");
     if let Err(e) = std::fs::write(&jsonl, snap.events_jsonl()) {
-        eprintln!("[obs] failed to write {jsonl}: {e}");
+        colt_obs::progress(
+            colt_obs::Event::new("obs_dump_error").field("path", jsonl).field("error", e.to_string()),
+        );
         return;
     }
     if let Err(e) = std::fs::write(&prom, snap.prometheus()) {
-        eprintln!("[obs] failed to write {prom}: {e}");
+        colt_obs::progress(
+            colt_obs::Event::new("obs_dump_error").field("path", prom).field("error", e.to_string()),
+        );
         return;
     }
     colt_obs::progress(
@@ -118,6 +124,7 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
     } else {
         format!("{per_ns:.1} ns/op")
     };
+    // colt: allow(output-hygiene) — cargo-bench harness output, never part of a diffed experiment artifact
     println!("  {name:<44} {shown:>14}  ({iters} iters)");
 }
 

@@ -10,7 +10,7 @@
 //! without being built.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod composite;
 pub mod database;

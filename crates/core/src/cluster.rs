@@ -14,14 +14,14 @@
 use colt_catalog::{ColRef, Database, TableId};
 use colt_engine::selectivity::predicate_selectivity;
 use colt_engine::{JoinPred, Query};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a cluster within a [`ClusterSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterId(pub u32);
 
 /// Selectivity bucket of one restricted attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SelBucket {
     /// Selectivity in `[0, boundary)` — the paper's 0–2% range.
     Selective,
@@ -30,7 +30,7 @@ pub enum SelBucket {
 }
 
 /// The identity of a cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClusterKey {
     /// Accessed tables, sorted.
     pub tables: Vec<TableId>,
@@ -100,7 +100,10 @@ impl Cluster {
 /// The set of clusters over the memory window.
 #[derive(Debug, Clone)]
 pub struct ClusterSet {
-    by_key: HashMap<ClusterKey, ClusterId>,
+    // BTreeMap rather than HashMap: the map is lookup-only today, but a
+    // hash-keyed field in a kernel crate is one refactor away from
+    // reintroducing nondeterministic iteration (colt-analyze enforces this).
+    by_key: BTreeMap<ClusterKey, ClusterId>,
     clusters: Vec<Cluster>,
     history_epochs: usize,
     selective_boundary: f64,
@@ -110,7 +113,7 @@ impl ClusterSet {
     /// Empty set with the given memory depth and selectivity boundary.
     pub fn new(history_epochs: usize, selective_boundary: f64) -> Self {
         ClusterSet {
-            by_key: HashMap::new(),
+            by_key: BTreeMap::new(),
             clusters: Vec::new(),
             history_epochs: history_epochs.max(1),
             selective_boundary,
@@ -132,6 +135,7 @@ impl ClusterSet {
                 id
             }
         };
+        // colt: allow(panic-policy) — counts is non-empty by construction (push_front on creation and in roll_epoch)
         *self.clusters[id.0 as usize].counts.front_mut().expect("current epoch slot") += 1;
         id
     }

@@ -20,7 +20,7 @@
 //! call per executed query.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod composite_ext;

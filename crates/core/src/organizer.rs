@@ -24,7 +24,7 @@ use crate::hotset::select_hot;
 use crate::knapsack::{self, Item};
 use crate::profiler::{GainMode, Profiler};
 use colt_catalog::{ColRef, Database, PhysicalConfig};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Per-epoch benefit series for one index: conservative and optimistic
 /// totals, most recent epoch first.
@@ -65,7 +65,9 @@ pub struct SelfOrganizer {
     max_hot: usize,
     swap_margin: f64,
     self_regulation: bool,
-    series: HashMap<ColRef, BenefitSeries>,
+    // BTreeMap: `.retain` iterates the map, and kernel state must never
+    // depend on hash order.
+    series: BTreeMap<ColRef, BenefitSeries>,
 }
 
 impl SelfOrganizer {
@@ -79,7 +81,7 @@ impl SelfOrganizer {
             max_hot: config.max_hot_set,
             swap_margin: config.swap_margin,
             self_regulation: config.self_regulation,
-            series: HashMap::new(),
+            series: BTreeMap::new(),
         }
     }
 

@@ -23,7 +23,7 @@ use colt_catalog::{ColRef, Database, PhysicalConfig};
 use colt_engine::cost::delta_cost;
 use colt_engine::selectivity::predicate_selectivity;
 use colt_engine::{Eqo, Plan, Query};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which estimate of a per-query cluster gain to read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +54,9 @@ pub struct ProfileOutcome {
 pub struct Profiler {
     clusters: ClusterSet,
     candidates: CandidateSet,
-    stats: HashMap<(ColRef, ClusterId), IndexClusterStats>,
+    // BTreeMap: iterated by `profiled_index_count`, and kernel state must
+    // never depend on hash order.
+    stats: BTreeMap<(ColRef, ClusterId), IndexClusterStats>,
     prng: Prng,
     z: f64,
     /// What-if calls performed in the epoch in progress (`#WI_cur`).
@@ -77,7 +79,7 @@ impl Profiler {
                 config.smoothing_alpha,
                 config.candidate_ttl_epochs,
             ),
-            stats: HashMap::new(),
+            stats: BTreeMap::new(),
             prng: Prng::new(config.seed),
             z: config.confidence_z,
             wi_cur: 0,
@@ -286,9 +288,10 @@ impl Profiler {
     /// (what-if-measured) sample — the paper reports COLT profiles only
     /// ~11% of the relevant indices.
     pub fn profiled_index_count(&self) -> usize {
+        // BTreeMap keys arrive ordered by (ColRef, ClusterId), so distinct
+        // columns are already adjacent.
         let mut cols: Vec<ColRef> =
             self.stats.iter().filter(|(_, s)| s.gains.n() > 0).map(|((c, _), _)| *c).collect();
-        cols.sort_unstable();
         cols.dedup();
         cols.len()
     }

@@ -13,7 +13,7 @@ use crate::plan::Plan;
 use crate::query::Query;
 use colt_catalog::{ColRef, TableId};
 use colt_storage::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,18 +84,22 @@ impl Acc {
     fn feed(&mut self, v: Option<&Value>) {
         match self {
             Acc::Count(n) => *n += 1,
+            // colt: allow(panic-policy) — AggExpr::over pairs every non-COUNT function with a column
             Acc::Sum(s) => *s += v.expect("SUM needs a column").as_f64(),
             Acc::Avg { sum, n } => {
+                // colt: allow(panic-policy) — AggExpr::over pairs every non-COUNT function with a column
                 *sum += v.expect("AVG needs a column").as_f64();
                 *n += 1;
             }
             Acc::Min(cur) => {
+                // colt: allow(panic-policy) — AggExpr::over pairs every non-COUNT function with a column
                 let v = v.expect("MIN needs a column");
                 if cur.as_ref().is_none_or(|c| v < c) {
                     *cur = Some(v.clone());
                 }
             }
             Acc::Max(cur) => {
+                // colt: allow(panic-policy) — AggExpr::over pairs every non-COUNT function with a column
                 let v = v.expect("MAX needs a column");
                 if cur.as_ref().is_none_or(|c| v > c) {
                     *cur = Some(v.clone());
@@ -129,6 +133,7 @@ fn offsets(
             }
             off += db.table(t).schema.arity();
         }
+        // colt: allow(panic-policy) — AggSpec columns come from the query the layout was built for
         panic!("aggregate column {c} not in result layout");
     })
     .collect()
@@ -154,7 +159,10 @@ impl<'a> Executor<'a> {
             .map(|e| e.col.map(|c| offsets(db, &layout, std::iter::once(c))[0]))
             .collect();
 
-        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        // BTreeMap keyed by the group-by values: accumulation order is the
+        // input row order either way, but emission order falls out sorted
+        // and independent of any hash seed.
+        let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
         if spec.group_by.is_empty() {
             groups.insert(Vec::new(), spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
         }
@@ -169,14 +177,15 @@ impl<'a> Executor<'a> {
             result.io.cpu_ops += spec.exprs.len() as u64 + 1;
         }
 
-        let mut out: Vec<Vec<Value>> = groups
+        // Group keys are unique, so emitting in BTreeMap key order is the
+        // same order `out.sort()` used to produce.
+        let out: Vec<Vec<Value>> = groups
             .into_iter()
             .map(|(mut key, accs)| {
                 key.extend(accs.into_iter().map(Acc::finish));
                 key
             })
             .collect();
-        out.sort();
         result.row_count = out.len() as u64;
         result.millis = db.cost.millis_of(&result.io);
         (result, out)

@@ -14,7 +14,7 @@
 //!   its simulated milliseconds are what every figure reports.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod aggregate;
 pub mod cost;

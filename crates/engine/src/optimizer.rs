@@ -206,6 +206,7 @@ impl<'a> Optimizer<'a> {
         assert!(n >= 1, "query must reference at least one table");
         assert!(n <= MAX_JOIN_TABLES, "too many tables for the join DP");
         if n == 1 {
+            // colt: allow(panic-policy) — n == 1 guarantees exactly one scan
             return Plan { root: scans.into_iter().next().expect("one scan").node };
         }
 
@@ -328,6 +329,7 @@ impl<'a> Optimizer<'a> {
             best[mask] = best_node;
         }
 
+        // colt: allow(panic-policy) — the DP seeds every singleton, so the full mask is always reachable
         Plan { root: best[full].take().expect("join DP must cover all tables") }
     }
 

@@ -176,6 +176,7 @@ pub fn run_cells(cells: &[Cell<'_>], threads: usize) -> ParallelReport {
                 .collect();
             handles
                 .into_iter()
+                // colt: allow(panic-policy) — deliberately propagates a worker's panic to the caller
                 .flat_map(|h| h.join().expect("worker thread panicked"))
                 .collect()
         })

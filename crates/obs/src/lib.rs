@@ -35,7 +35,7 @@
 //! byte-identical across levels and thread counts.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod event;
 pub mod hist;

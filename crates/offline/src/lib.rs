@@ -22,7 +22,7 @@
 //! tests.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use colt_catalog::{ColRef, Database, IndexOrigin, PhysicalConfig, TableId};
 use colt_engine::{Eqo, Query};
@@ -180,6 +180,7 @@ pub fn select(db: &Database, workload: &[Query], budget_pages: u64) -> OfflineSe
             best = Some(entry);
         }
     }
+    // colt: allow(panic-policy) — the DP always contains the empty selection, so a best entry exists
     let (best_benefit, best_choice) = best.expect("empty-set option always feasible");
 
     let mut indices = Vec::new();

@@ -1,0 +1,11 @@
+//! This crate's contracts (determinism, layering, output hygiene, panic
+//! policy) are enforced statically by colt-analyze; running the engine
+//! from every crate's suite means a violation fails `cargo test -p <crate>`
+//! without needing the separate binary.
+
+#[test]
+fn workspace_passes_colt_analyze() {
+    let root = colt_analyze::workspace_root();
+    let report = colt_analyze::check_workspace(&root).expect("workspace scan");
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -343,6 +343,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
         // (degenerate) split; walk the chain while keys may still match.
         let mut cur = leaf;
         loop {
+            // colt: allow(panic-policy) — descend() and leaf `next` chains only yield leaf nodes
             let Node::Leaf { entries, next } = self.node_mut(cur) else { unreachable!() };
             if let Some(pos) = entries.iter().position(|(k, r)| k == key && *r == row) {
                 entries.remove(pos);
@@ -393,6 +394,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
         };
         let mut first = true;
         loop {
+            // colt: allow(panic-policy) — descend() and leaf `next` chains only yield leaf nodes
             let Node::Leaf { entries, next } = self.node(leaf) else { unreachable!("descend ends at leaf") };
             if !first {
                 io.seq_pages += 1;
@@ -448,6 +450,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
         };
         let mut first = true;
         loop {
+            // colt: allow(panic-policy) — descend() and leaf `next` chains only yield leaf nodes
             let Node::Leaf { entries, next } = self.node(leaf) else { unreachable!() };
             if !first {
                 io.seq_pages += 1;
@@ -491,6 +494,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
         let mut leaves = Vec::new();
         let mut cur = Some(self.leftmost_leaf());
         while let Some(id) = cur {
+            // colt: allow(panic-policy) — leftmost_leaf() and leaf `next` chains only yield leaf nodes
             let Node::Leaf { entries, next } = self.node(id) else { unreachable!() };
             leaves.push(entries);
             cur = *next;

@@ -27,6 +27,7 @@ impl HeapTable {
 
     /// Append a row, returning its id.
     pub fn insert(&mut self, row: Row) -> RowId {
+        // colt: allow(panic-policy) — RowId is u32 by design; >4B rows is beyond every supported scale
         let id = RowId(u32::try_from(self.rows.len()).expect("heap table exceeds u32 rows"));
         self.rows.push(row);
         id

@@ -13,7 +13,7 @@
 //! the paper measures.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod btree;
 pub mod heap;

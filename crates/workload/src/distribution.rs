@@ -169,6 +169,7 @@ impl QueryDistribution {
             }
             pick -= w;
         }
+        // colt: allow(panic-policy) — sample() asserts a non-empty template list on entry
         self.templates.last().unwrap().1.sample(db, rng)
     }
 

@@ -8,7 +8,7 @@
 //! transitions), and noisy (20% burst injections).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod distribution;
 pub mod gen;

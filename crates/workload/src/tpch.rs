@@ -176,6 +176,7 @@ impl Instance {
         self.tables
             .iter()
             .find(|(n, _)| n == name)
+            // colt: allow(panic-policy) — lookup by compile-time TPC-H name; a typo is a programming error
             .unwrap_or_else(|| panic!("unknown table {name}"))
             .1
     }
@@ -187,6 +188,7 @@ impl Instance {
             .table(tid)
             .schema
             .column_index(column)
+            // colt: allow(panic-policy) — lookup by compile-time TPC-H name; a typo is a programming error
             .unwrap_or_else(|| panic!("unknown column {table}.{column}"));
         ColRef::new(tid, idx)
     }
@@ -258,7 +260,9 @@ pub struct DataSetSummary {
 pub fn summary(scale: f64) -> DataSetSummary {
     let defs = table_defs(scale);
     let per_instance_tuples: u64 = defs.iter().map(|d| d.base_rows).sum();
+    // colt: allow(panic-policy) — table_defs() returns the fixed eight TPC-H tables, never empty
     let largest = defs.iter().map(|d| d.base_rows).max().unwrap();
+    // colt: allow(panic-policy) — table_defs() returns the fixed eight TPC-H tables, never empty
     let smallest = defs.iter().map(|d| d.base_rows).min().unwrap();
     let attributes: usize = defs.iter().map(|d| d.columns.len()).sum();
     let bytes: u64 = defs

@@ -47,7 +47,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use colt_catalog as catalog;
 pub use colt_core as colt;
