@@ -383,8 +383,8 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
 
         // output-hygiene
         let is_macro = next == Some(&Tok::Punct('!'));
-        let stdout_allowed = (krate == Some("bench") && file.kind == Kind::Bin)
-            || (krate == Some("analyze") && file.kind == Kind::Bin)
+        let stdout_allowed = (matches!(krate, Some("bench") | Some("analyze"))
+            && file.kind == Kind::Bin)
             || (krate == Some("harness") && file.rel.ends_with("report.rs"));
         let stderr_allowed = stdout_allowed || krate == Some("obs");
         if is_macro && (id == "println" || id == "print") && !stdout_allowed {

@@ -50,7 +50,7 @@ fn run_table(
             .into_iter()
             .map(|(name, cfg)| Cell::new(name, &data.db, &preset.queries, Policy::colt(cfg))),
     );
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary(&format!("Ablation cells — {title}"), &report);
 
     let offline = &report.cells[0].result;
@@ -91,7 +91,7 @@ fn scheduler_table(data: &colt_workload::TpchData, preset: &colt_workload::Prese
                 Cell::new(name, &data.db, &preset.queries, Policy::Colt(base.clone(), strat))
             })
             .collect();
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary("Scheduler cells", &report);
     dump_obs(&report);
     for cell in &report.cells {

@@ -55,7 +55,7 @@ fn main() {
             }),
         ),
     ];
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary("Composite cells", &report);
     dump_obs(&report);
     let none = report.get("no tuning").expect("baseline cell");

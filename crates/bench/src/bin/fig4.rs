@@ -39,7 +39,7 @@ fn main() {
             Policy::colt(ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() }),
         ),
     ];
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary("Figure 4 cells", &report);
     dump_obs(&report);
     let offline = report.get("OFFLINE").expect("offline cell");

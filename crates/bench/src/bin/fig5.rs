@@ -48,7 +48,7 @@ fn main() {
             )
         })
         .collect();
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary("Figure 5 cells", &report);
     dump_obs(&report);
 

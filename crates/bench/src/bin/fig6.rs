@@ -67,7 +67,7 @@ fn main() {
             ]
         })
         .collect();
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary("Figure 6 cells", &report);
     dump_obs(&report);
 

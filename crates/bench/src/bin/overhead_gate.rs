@@ -40,7 +40,7 @@ fn measure_once(data: &colt_workload::TpchData) -> (f64, usize) {
     // Force span recording regardless of COLT_OBS: Experiment::run
     // inherits the level of a pre-installed recorder.
     let prev = colt_obs::install(colt_obs::Recorder::new(colt_obs::Level::Summary));
-    let result = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run();
+    let result = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run().expect("run failed");
     match prev {
         Some(r) => {
             colt_obs::install(r);

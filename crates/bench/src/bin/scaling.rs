@@ -57,7 +57,7 @@ fn main() {
             })
         })
         .collect();
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary("Scaling cells", &report);
     dump_obs(&report);
 

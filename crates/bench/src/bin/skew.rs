@@ -48,7 +48,7 @@ fn main() {
     for probe in [0i64, 2, 50, 400] {
         let q = Query::single(t, vec![SelPred::eq(kind, probe)]);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        let res = Executor::new(&db, &cfg).execute(&q, &plan).expect("plan matches query");
         let path = if plan.used_indices().is_empty() { "SeqScan " } else { "IndexScan" };
         println!(
             "    kind = {probe:>3}: {path}  ({} rows, {:.1} simulated ms)",
@@ -73,7 +73,7 @@ fn main() {
             Policy::colt(ColtConfig { storage_budget_pages: budget, ..Default::default() }),
         ),
     ];
-    let report = run_cells(&cells, threads());
+    let report = run_cells(&cells, threads()).expect("run failed");
     emit_parallel_summary("Skew cells", &report);
     dump_obs(&report);
     let offline = report.get("OFFLINE").expect("offline cell");

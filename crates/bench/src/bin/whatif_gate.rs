@@ -1,0 +1,177 @@
+//! What-if throughput regression gate (PR 6 tentpole).
+//!
+//! The profiler's cost is dominated by `WhatIfOptimize` probes, and the
+//! what-if memo cache exists to make *repeated* probes of the same
+//! (query template, candidate) pair cheap within an epoch. This gate
+//! measures exactly that workload: every query of the Figure 5 shifting
+//! preset is probed on all of its candidate columns for `ROUNDS` rounds
+//! against one long-lived [`colt_engine::Eqo`], and the probe rate
+//! (probes per wall-clock second, best of `TRIALS` trials) is compared
+//! against the checked-in baseline:
+//!
+//! ```text
+//! whatif_gate                    # gate: exit 1 if < 2.0x baseline
+//! whatif_gate --write-baseline   # refresh the baseline file
+//! whatif_gate --baseline <path>  # non-default baseline location
+//! ```
+//!
+//! Unlike `overhead_gate` (a *ceiling* on tuner overhead) this is a
+//! *floor*: the baseline was measured with the memo cache absent, so the
+//! gate fails when the cached probe rate drops below `THRESHOLD` times
+//! the uncached rate — i.e. when the cache stops paying for itself.
+//! The baseline records the `COLT_SCALE`/`COLT_SEED` it was measured
+//! at; the gate refuses to compare across workload shapes (exit 2).
+
+use colt_bench::{build_data, scale, seed};
+use colt_catalog::{ColRef, PhysicalConfig};
+use colt_core::json::Json;
+use colt_engine::{Eqo, Query};
+use colt_workload::presets;
+use std::process::ExitCode;
+
+/// Trials per measurement; the maximum probe rate is used.
+const TRIALS: usize = 3;
+/// Repeated-probe rounds over the workload within one trial.
+const ROUNDS: usize = 8;
+/// Gate threshold: fail when current rate is below baseline × this.
+const THRESHOLD: f64 = 2.0;
+
+fn default_baseline_path() -> String {
+    format!("{}/baselines/whatif_baseline.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// One measured trial: (timed probes answered, wall seconds, memo hits).
+fn measure_once(
+    data: &colt_workload::TpchData,
+    probe_sets: &[(Query, Vec<ColRef>)],
+) -> (u64, f64, u64) {
+    let config = PhysicalConfig::new();
+    let mut eqo = Eqo::new(&data.db);
+    // One untimed warm round: the timed region then measures the steady
+    // repeated-probe state the gate is about. Without a memo (as in the
+    // baseline) the warm round changes nothing — probe cost is flat.
+    for (q, probes) in probe_sets {
+        eqo.what_if_optimize(q, probes, &config);
+    }
+    let warm_calls = eqo.counters().whatif_calls;
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        for (q, probes) in probe_sets {
+            let gains = eqo.what_if_optimize(q, probes, &config);
+            assert_eq!(gains.len(), probes.len(), "every probe must be answered");
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (eqo.counters().whatif_calls - warm_calls, secs, eqo.counters().memo_hits)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write-baseline");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(default_baseline_path);
+
+    let data = build_data();
+    let preset = presets::shifting(&data, seed());
+    let probe_sets: Vec<(Query, Vec<ColRef>)> =
+        preset.queries.iter().map(|q| (q.clone(), q.candidate_columns())).collect();
+
+    let mut best_rate = 0.0f64;
+    let mut probes = 0u64;
+    for trial in 0..TRIALS {
+        let (n, secs, hits) = measure_once(&data, &probe_sets);
+        let rate = n as f64 / secs.max(1e-9);
+        println!(
+            "  trial {}: {n} probes in {:.3} s = {:.0} probes/s ({hits} memo hits)",
+            trial + 1,
+            secs,
+            rate
+        );
+        best_rate = best_rate.max(rate);
+        probes = n;
+    }
+    println!(
+        "# What-if throughput: best of {TRIALS} trials = {best_rate:.0} probes/s over {probes} probes (scale {}, seed {})",
+        scale(),
+        seed()
+    );
+
+    if write {
+        let json = Json::obj(vec![
+            ("scale", Json::Float(scale())),
+            ("seed", Json::UInt(seed())),
+            ("probes", Json::UInt(probes)),
+            ("rounds", Json::UInt(ROUNDS as u64)),
+            ("whatif_probes_per_sec", Json::Float(best_rate)),
+        ])
+        .pretty();
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("error: cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: no baseline at {baseline_path} ({e}); run with --write-baseline first"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let base = match colt_core::json::parse(&raw) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: malformed baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_f = |key: &str| -> Option<f64> {
+        match base.get(key) {
+            Some(Json::Float(f)) => Some(*f),
+            Some(Json::UInt(u)) => Some(*u as f64),
+            Some(Json::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    let (Some(base_scale), Some(base_rate)) = (base_f("scale"), base_f("whatif_probes_per_sec"))
+    else {
+        eprintln!("error: baseline {baseline_path} is missing scale/whatif_probes_per_sec");
+        return ExitCode::from(2);
+    };
+    if (base_scale - scale()).abs() > 1e-12 {
+        eprintln!(
+            "error: baseline was measured at COLT_SCALE={base_scale}, current run is {}; \
+             pin COLT_SCALE or refresh with --write-baseline",
+            scale()
+        );
+        return ExitCode::from(2);
+    }
+
+    let floor = base_rate * THRESHOLD;
+    println!("  baseline {base_rate:.0} probes/s, floor {THRESHOLD}x = {floor:.0} probes/s");
+    if best_rate < floor {
+        println!(
+            "FAIL: what-if throughput {best_rate:.0} probes/s is below {THRESHOLD}x the uncached baseline ({base_rate:.0} probes/s)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "OK: what-if memo sustains {:.1}x the uncached probe rate",
+            best_rate / base_rate.max(1e-9)
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -21,6 +21,9 @@ pub struct Table {
     pub stats: Vec<ColumnStats>,
     /// Row count when statistics were last gathered (auto-analyze).
     rows_at_analyze: usize,
+    /// Bumped on every [`Table::analyze`]; consumers caching derived
+    /// state (the what-if memo) compare it to detect stale statistics.
+    stats_version: u64,
 }
 
 impl Table {
@@ -28,6 +31,13 @@ impl Table {
     pub fn analyze(&mut self) {
         self.stats = (0..self.schema.arity()).map(|c| ColumnStats::analyze(&self.heap, c)).collect();
         self.rows_at_analyze = self.heap.row_count();
+        self.stats_version += 1;
+    }
+
+    /// Statistics generation: 0 before the first [`Table::analyze`],
+    /// incremented on every re-analyze.
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version
     }
 
     /// Has the table grown by more than `threshold` (relative) since the
@@ -64,7 +74,14 @@ impl Database {
     pub fn add_table(&mut self, schema: TableSchema) -> TableId {
         let id = TableId(self.tables.len() as u32);
         let heap = HeapTable::new(schema.row_width());
-        self.tables.push(Table { id, schema, heap, stats: Vec::new(), rows_at_analyze: 0 });
+        self.tables.push(Table {
+            id,
+            schema,
+            heap,
+            stats: Vec::new(),
+            rows_at_analyze: 0,
+            stats_version: 0,
+        });
         id
     }
 
@@ -368,6 +385,18 @@ mod tests {
         cfg.create_index(&db, ColRef::new(tid, 1), IndexOrigin::Online);
         assert_eq!(cfg.online_columns().count(), 1);
         assert!(cfg.online_pages() > 0);
+    }
+
+    #[test]
+    fn stats_version_tracks_analyzes() {
+        let mut db = Database::new();
+        let t = db.add_table(TableSchema::new("v", vec![Column::new("a", ValueType::Int)]));
+        assert_eq!(db.table(t).stats_version(), 0);
+        db.insert_rows(t, (0..10i64).map(|i| row_from(vec![Value::Int(i)])));
+        db.analyze_all();
+        assert_eq!(db.table(t).stats_version(), 1);
+        db.table_mut(t).analyze();
+        assert_eq!(db.table(t).stats_version(), 2);
     }
 
     #[test]

@@ -26,7 +26,14 @@
 /// the missing history as anything else would extrapolate a single
 /// bursty epoch over the whole forecast horizon.
 pub fn level(series: &[f64], decay: f64, window: usize) -> f64 {
-    let window = window.max(series.len()).max(1);
+    let window = window.max(series.len());
+    if window == 0 {
+        // No history and no window: the weighted sum would be 0/0. An
+        // index nobody measured over zero epochs has level zero, and
+        // returning NaN here would poison `predicted_total` and
+        // `net_benefit` downstream.
+        return 0.0;
+    }
     let mut num = 0.0;
     let mut den = 0.0;
     let mut w = 1.0;
@@ -68,6 +75,20 @@ mod tests {
     fn empty_series_predicts_zero() {
         assert_eq!(level(&[], 0.8, 12), 0.0);
         assert_eq!(predicted_total(&[], 0.8, 12), 0.0);
+    }
+
+    #[test]
+    fn zero_window_empty_series_is_zero_not_nan() {
+        // Regression: with no history AND a zero window nothing clamps
+        // the denominator, so this used to rely on an implicit max(1);
+        // the contract is an explicit 0.0, never NaN.
+        let l = level(&[], 0.8, 0);
+        assert_eq!(l, 0.0);
+        assert!(l.is_finite());
+        assert_eq!(predicted_total(&[], 0.8, 0), 0.0);
+        // NaN would propagate into NetBenefit and wreck the knapsack
+        // ordering; an empty forecast must cost exactly the mat cost.
+        assert_eq!(net_benefit(&[], 0.8, 0, 5.0), -5.0);
     }
 
     #[test]

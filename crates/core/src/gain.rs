@@ -255,6 +255,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_sample_estimator_paths() {
+        // Every accessor must be well-defined (finite or the documented
+        // sentinel) on an empty estimator — no 0/0 or 0-1 underflow.
+        let s = GainStats::new(0);
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.ci_half_width(1.645).is_infinite(), "no confidence yet");
+        assert_eq!(s.low(1.645), 0.0);
+        assert_eq!(s.high(1.645), 0.0);
+    }
+
+    #[test]
+    fn single_sample_estimator_paths() {
+        let mut s = GainStats::new(0);
+        s.add(8.0, 0);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.mean(), 8.0);
+        assert_eq!(s.variance(), 0.0, "unbiased variance undefined at n=1, reported as 0");
+        assert!(s.ci_half_width(1.645).is_infinite());
+        assert!((s.low(1.645) - 4.0).abs() < 1e-12, "half-weight single observation");
+        assert!((s.high(1.645) - 16.0).abs() < 1e-12, "aggressive upper stand-in");
+        // A negative single sample (cost regression) clamps both bounds
+        // to zero — a gain cannot be negative.
+        let mut neg = GainStats::new(0);
+        neg.add(-3.0, 0);
+        assert_eq!(neg.low(1.645), 0.0);
+        assert_eq!(neg.high(1.645), 0.0);
+    }
+
+    #[test]
     fn usage_fraction() {
         let mut ics = IndexClusterStats::new(0);
         assert_eq!(ics.used_fraction(), 1.0);

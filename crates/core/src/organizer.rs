@@ -288,7 +288,13 @@ impl SelfOrganizer {
             1.0
         };
         let span = self.full_budget_ratio - 1.0;
-        let frac = ((ratio - 1.0) / span).clamp(0.0, 1.0);
+        // A degenerate configuration (`full_budget_ratio <= 1.0`) leaves
+        // no ramp to interpolate over: `(ratio - 1)/0` is NaN, NaN
+        // survives `clamp`, and `NaN as u64` is 0 — which would silently
+        // zero the next epoch's what-if budget. Degenerate means "always
+        // run at full intensity".
+        let frac =
+            if span <= 0.0 { 1.0 } else { ((ratio - 1.0) / span).clamp(0.0, 1.0) };
         let next_budget = if self.self_regulation {
             (self.max_whatif as f64 * frac).round() as u64
         } else {
@@ -419,6 +425,32 @@ mod tests {
         // Well-tuned, no hot candidates that could beat M → hibernate.
         assert!(d.ratio < 1.05, "ratio {}", d.ratio);
         assert_eq!(d.next_budget, 0, "profiling suspended");
+    }
+
+    #[test]
+    fn degenerate_full_budget_ratio_keeps_full_budget() {
+        // Regression: full_budget_ratio == 1.0 made the re-budget ramp
+        // span zero, so frac = (ratio-1)/0 = NaN, and `NaN as u64` = 0
+        // silently zeroed the next epoch's what-if budget.
+        // ColtConfig::validate rejects the value, but SelfOrganizer can
+        // be constructed from an unvalidated config; the degenerate case
+        // must mean "always full budget", never 0.
+        let (db, t) = setup();
+        let cfg = PhysicalConfig::new();
+        let colt_cfg = ColtConfig { full_budget_ratio: 1.0, ..Default::default() };
+        let profiler = Profiler::new(&colt_cfg);
+        let mut org = SelfOrganizer::new(&colt_cfg);
+        // A promising candidate (ratio path: net_benefit_m' > 0 = m)
+        // exercises the interpolation with the zero-width span.
+        let col = ColRef::new(t, 0);
+        let q = Query::single(t, vec![SelPred::eq(col, 7i64)]);
+        let mut profiler = profiler;
+        profile_n(&mut profiler, &db, &cfg, &q, &BTreeSet::new(), 10);
+        let d = org.reorganize(&db, &cfg, &profiler, &BTreeSet::new());
+        assert_eq!(
+            d.next_budget, colt_cfg.max_whatif_per_epoch,
+            "degenerate ramp must pin the budget at full intensity"
+        );
     }
 
     #[test]

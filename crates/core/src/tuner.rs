@@ -143,7 +143,7 @@ impl ColtTuner {
             TunerStep::default()
         } else {
             self.queries_in_epoch = 0;
-            self.close_epoch(db, physical)
+            self.close_epoch(db, physical, eqo)
         };
         if !piggy.built.is_empty() {
             for (col, _) in &piggy.built {
@@ -167,7 +167,12 @@ impl ColtTuner {
         self.scheduler.on_idle(db, physical).total_build_io()
     }
 
-    fn close_epoch(&mut self, db: &Database, physical: &mut PhysicalConfig) -> TunerStep {
+    fn close_epoch(
+        &mut self,
+        db: &Database,
+        physical: &mut PhysicalConfig,
+        eqo: &mut Eqo<'_>,
+    ) -> TunerStep {
         let _span = colt_obs::span("tuner.epoch");
         let whatif_used = self.profiler.whatif_used();
         let whatif_limit = self.profiler.whatif_limit();
@@ -237,6 +242,10 @@ impl ColtTuner {
 
         self.hot = decision.new_hot;
         self.profiler.end_epoch(decision.next_budget);
+        // Sweep the what-if memo against the post-reorganization
+        // configuration: entries on tables this epoch touched drop,
+        // everything else carries into the next epoch.
+        eqo.end_epoch(physical);
         self.epoch += 1;
 
         TunerStep {

@@ -101,7 +101,7 @@ fn aggregate_rows_independent_of_insertion_order() {
         };
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
-        Executor::new(&db, &cfg).execute_aggregate(&q, &plan, &spec).1
+        Executor::new(&db, &cfg).execute_aggregate(&q, &plan, &spec).unwrap().1
     };
 
     let a = run(&forward);

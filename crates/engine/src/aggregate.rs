@@ -8,7 +8,7 @@
 //! indices help a query (it consumes the join result), so it composes
 //! with the tuner without touching it.
 
-use crate::executor::{Executor, QueryResult};
+use crate::executor::{ExecError, Executor, QueryResult};
 use crate::plan::Plan;
 use crate::query::Query;
 use colt_catalog::{ColRef, TableId};
@@ -149,8 +149,8 @@ impl<'a> Executor<'a> {
         query: &Query,
         plan: &Plan,
         spec: &AggSpec,
-    ) -> (QueryResult, Vec<Vec<Value>>) {
-        let (mut result, rows, layout) = self.execute_collect_with_layout(query, plan);
+    ) -> Result<(QueryResult, Vec<Vec<Value>>), ExecError> {
+        let (mut result, rows, layout) = self.execute_collect_with_layout(query, plan)?;
         let db = self.database();
         let group_pos = offsets(db, &layout, spec.group_by.iter().copied());
         let agg_pos: Vec<Option<usize>> = spec
@@ -188,7 +188,7 @@ impl<'a> Executor<'a> {
             .collect();
         result.row_count = out.len() as u64;
         result.millis = db.cost.millis_of(&result.io);
-        (result, out)
+        Ok((result, out))
     }
 }
 
@@ -223,7 +223,7 @@ mod tests {
     fn run(db: &Database, q: &Query, spec: &AggSpec) -> Vec<Vec<Value>> {
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(db).optimize(q, IndexSetView::real(&cfg));
-        Executor::new(db, &cfg).execute_aggregate(q, &plan, spec).1
+        Executor::new(db, &cfg).execute_aggregate(q, &plan, spec).unwrap().1
     }
 
     #[test]

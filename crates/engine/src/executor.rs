@@ -14,6 +14,40 @@ use colt_storage::{IoStats, RowId, Value};
 use std::collections::HashMap;
 use std::ops::Bound;
 
+/// A plan/input mismatch detected during execution.
+///
+/// The executor trusts the optimizer for *physical* facts it can check
+/// cheaply elsewhere (materialized indexes, sargable predicates), but a
+/// join key referencing a table the plan never joined is a structural
+/// contradiction a caller can construct by hand — hand-built plans are
+/// part of the public API — so it surfaces as a typed error instead of
+/// a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// A join predicate references a table absent from the operator's
+    /// input batch: the plan's join tree does not cover the predicate.
+    JoinKeyTableMissing {
+        /// Operator that detected the mismatch.
+        operator: &'static str,
+        /// The table the join key references.
+        table: TableId,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::JoinKeyTableMissing { operator, table } => write!(
+                f,
+                "{operator}: join key references table t{} absent from the input batch",
+                table.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Result of executing one query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -26,6 +60,10 @@ pub struct QueryResult {
     /// Simulated execution time in milliseconds.
     pub millis: f64,
 }
+
+/// What [`Executor::execute_collect_with_layout`] returns: the cost
+/// summary, the collected rows, and the output column layout.
+pub type CollectedWithLayout = (QueryResult, Vec<Vec<Value>>, Vec<TableId>);
 
 /// Rows flowing between operators: the source table of each column slice
 /// is tracked so join keys can be located.
@@ -50,20 +88,24 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute a plan, returning counts and charges only.
-    pub fn execute(&self, query: &Query, plan: &Plan) -> QueryResult {
+    pub fn execute(&self, query: &Query, plan: &Plan) -> Result<QueryResult, ExecError> {
         let span = colt_obs::span("engine.execute");
         let mut io = IoStats::new();
-        let batch = self.run(query, &plan.root, &mut io);
+        let batch = self.run(query, &plan.root, &mut io)?;
         let millis = self.db.cost.millis_of(&io);
         span.sim_ms(millis);
-        QueryResult { row_count: batch.rows.len() as u64, millis, io }
+        Ok(QueryResult { row_count: batch.rows.len() as u64, millis, io })
     }
 
     /// Execute a plan and also return the result rows (column-concatenated
     /// in the plan's table order). Intended for examples and tests.
-    pub fn execute_collect(&self, query: &Query, plan: &Plan) -> (QueryResult, Vec<Vec<Value>>) {
-        let (res, rows, _) = self.execute_collect_with_layout(query, plan);
-        (res, rows)
+    pub fn execute_collect(
+        &self,
+        query: &Query,
+        plan: &Plan,
+    ) -> Result<(QueryResult, Vec<Vec<Value>>), ExecError> {
+        let (res, rows, _) = self.execute_collect_with_layout(query, plan)?;
+        Ok((res, rows))
     }
 
     /// Like [`Executor::execute_collect`], additionally returning the
@@ -76,10 +118,10 @@ impl<'a> Executor<'a> {
         &self,
         query: &Query,
         plan: &Plan,
-    ) -> (QueryResult, Vec<Vec<Value>>, Vec<TableId>) {
+    ) -> Result<CollectedWithLayout, ExecError> {
         let mut io = IoStats::new();
-        let batch = self.run(query, &plan.root, &mut io);
-        (
+        let batch = self.run(query, &plan.root, &mut io)?;
+        Ok((
             QueryResult {
                 row_count: batch.rows.len() as u64,
                 millis: self.db.cost.millis_of(&io),
@@ -87,7 +129,7 @@ impl<'a> Executor<'a> {
             },
             batch.rows,
             batch.tables,
-        )
+        ))
     }
 
     /// The database this executor runs against.
@@ -99,10 +141,10 @@ impl<'a> Executor<'a> {
     /// annotated with *estimated vs actual* rows and the per-node
     /// physical work. The estimation error visible here is exactly the
     /// noise COLT's confidence intervals exist to tolerate.
-    pub fn explain_analyze(&self, query: &Query, plan: &Plan) -> (QueryResult, String) {
+    pub fn explain_analyze(&self, query: &Query, plan: &Plan) -> Result<(QueryResult, String), ExecError> {
         let mut io = IoStats::new();
         let mut out = String::new();
-        let batch = self.analyze_node(query, &plan.root, &mut io, 0, &mut out);
+        let batch = self.analyze_node(query, &plan.root, &mut io, 0, &mut out)?;
         let result = QueryResult {
             row_count: batch.rows.len() as u64,
             millis: self.db.cost.millis_of(&io),
@@ -116,7 +158,7 @@ impl<'a> Executor<'a> {
             result.io.random_pages,
             result.io.tuples
         ));
-        (result, out)
+        Ok((result, out))
     }
 
     /// Execute one node, appending its annotated line (after its
@@ -128,7 +170,7 @@ impl<'a> Executor<'a> {
         io: &mut IoStats,
         depth: usize,
         out: &mut String,
-    ) -> Batch {
+    ) -> Result<Batch, ExecError> {
         let pad = "  ".repeat(depth);
         let mut child_text = String::new();
         let (batch, own_io) = match node {
@@ -138,17 +180,17 @@ impl<'a> Executor<'a> {
                 (b, *io - before)
             }
             PlanNode::HashJoin { build, probe, on, .. } => {
-                let b = self.analyze_node(query, build, io, depth + 1, &mut child_text);
-                let p = self.analyze_node(query, probe, io, depth + 1, &mut child_text);
+                let b = self.analyze_node(query, build, io, depth + 1, &mut child_text)?;
+                let p = self.analyze_node(query, probe, io, depth + 1, &mut child_text)?;
                 let before = *io;
-                let joined = self.hash_join(b, p, on, io);
+                let joined = self.hash_join(b, p, on, io)?;
                 (joined, *io - before)
             }
             PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
-                let o = self.analyze_node(query, outer, io, depth + 1, &mut child_text);
+                let o = self.analyze_node(query, outer, io, depth + 1, &mut child_text)?;
                 let before = *io;
                 let joined =
-                    self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io);
+                    self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io)?;
                 (joined, *io - before)
             }
         };
@@ -175,21 +217,21 @@ impl<'a> Executor<'a> {
             own_io.random_pages,
         ));
         out.push_str(&child_text);
-        batch
+        Ok(batch)
     }
 
-    fn run(&self, query: &Query, node: &PlanNode, io: &mut IoStats) -> Batch {
+    fn run(&self, query: &Query, node: &PlanNode, io: &mut IoStats) -> Result<Batch, ExecError> {
         match node {
-            PlanNode::Scan { table, path, .. } => self.run_scan(query, *table, path, io),
+            PlanNode::Scan { table, path, .. } => Ok(self.run_scan(query, *table, path, io)),
             PlanNode::HashJoin { build, probe, on, .. } => {
                 colt_obs::counter("engine.op.hash_join", 1);
-                let b = self.run(query, build, io);
-                let p = self.run(query, probe, io);
+                let b = self.run(query, build, io)?;
+                let p = self.run(query, probe, io)?;
                 self.hash_join(b, p, on, io)
             }
             PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
                 colt_obs::counter("engine.op.index_nl_join", 1);
-                let o = self.run(query, outer, io);
+                let o = self.run(query, outer, io)?;
                 self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io)
             }
         }
@@ -208,7 +250,7 @@ impl<'a> Executor<'a> {
         probe_on: crate::query::JoinPred,
         residual_on: &[crate::query::JoinPred],
         io: &mut IoStats,
-    ) -> Batch {
+    ) -> Result<Batch, ExecError> {
         let inner_table = self.db.table(inner);
         let index = self
             .config
@@ -220,27 +262,26 @@ impl<'a> Executor<'a> {
         // Locate the outer side of the probe predicate in the batch.
         let outer_side =
             if probe_on.left.table == inner { probe_on.right } else { probe_on.left };
-        let col_offset = |batch: &Batch, table: TableId| -> usize {
+        let col_offset = |batch: &Batch, table: TableId| -> Result<usize, ExecError> {
             let mut off = 0;
             for &t in &batch.tables {
                 if t == table {
-                    return off;
+                    return Ok(off);
                 }
                 off += self.db.table(t).schema.arity();
             }
-            // colt: allow(panic-policy) — join predicates reference only tables the plan joined
-            panic!("probe key table not in outer batch");
+            Err(ExecError::JoinKeyTableMissing { operator: "index_nl_join", table })
         };
-        let probe_pos = col_offset(&outer, outer_side.table) + outer_side.column as usize;
+        let probe_pos = col_offset(&outer, outer_side.table)? + outer_side.column as usize;
 
         // Residual join predicates: (outer position, inner column).
         let residuals: Vec<(usize, usize)> = residual_on
             .iter()
             .map(|j| {
                 let (o, i) = if j.left.table == inner { (j.right, j.left) } else { (j.left, j.right) };
-                (col_offset(&outer, o.table) + o.column as usize, i.column as usize)
+                Ok((col_offset(&outer, o.table)? + o.column as usize, i.column as usize))
             })
-            .collect();
+            .collect::<Result<_, ExecError>>()?;
 
         let inner_arity = inner_table.schema.arity();
         let mut out = Vec::new();
@@ -265,7 +306,7 @@ impl<'a> Executor<'a> {
 
         let mut tables = outer.tables;
         tables.push(inner);
-        Batch { tables, rows: out }
+        Ok(Batch { tables, rows: out })
     }
 
     fn run_scan(&self, query: &Query, table: TableId, path: &AccessPath, io: &mut IoStats) -> Batch {
@@ -400,30 +441,29 @@ impl<'a> Executor<'a> {
         probe: Batch,
         on: &[crate::query::JoinPred],
         io: &mut IoStats,
-    ) -> Batch {
+    ) -> Result<Batch, ExecError> {
         // Locate each join key within the concatenated batches.
-        let col_offset = |batch: &Batch, table: TableId| -> usize {
+        let col_offset = |batch: &Batch, table: TableId| -> Result<usize, ExecError> {
             let mut off = 0;
             for &t in &batch.tables {
                 if t == table {
-                    return off;
+                    return Ok(off);
                 }
                 off += self.db.table(t).schema.arity();
             }
-            // colt: allow(panic-policy) — join predicates reference only tables the plan joined
-            panic!("join key table not in batch");
+            Err(ExecError::JoinKeyTableMissing { operator: "hash_join", table })
         };
-        let key_positions = |batch: &Batch| -> Vec<usize> {
+        let key_positions = |batch: &Batch| -> Result<Vec<usize>, ExecError> {
             on.iter()
                 .map(|j| {
                     let side = if batch.tables.contains(&j.left.table) { j.left } else { j.right };
-                    col_offset(batch, side.table) + side.column as usize
+                    Ok(col_offset(batch, side.table)? + side.column as usize)
                 })
                 .collect()
         };
 
-        let build_keys = key_positions(&build);
-        let probe_keys = key_positions(&probe);
+        let build_keys = key_positions(&build)?;
+        let probe_keys = key_positions(&probe)?;
 
         // Build phase. Deliberately a HashMap: it is point-lookup only —
         // never iterated — and output order is fixed by the probe-side
@@ -465,7 +505,7 @@ impl<'a> Executor<'a> {
 
         let mut tables = build.tables;
         tables.extend(probe.tables);
-        Batch { tables, rows: out }
+        Ok(Batch { tables, rows: out })
     }
 }
 
@@ -507,7 +547,7 @@ mod tests {
     ) -> (QueryResult, Vec<Vec<Value>>) {
         let opt = Optimizer::new(db);
         let plan = opt.optimize(q, IndexSetView::real(cfg));
-        Executor::new(db, cfg).execute_collect(q, &plan)
+        Executor::new(db, cfg).execute_collect(q, &plan).unwrap()
     }
 
     #[test]
@@ -538,7 +578,7 @@ mod tests {
         let opt = Optimizer::new(&db);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
         assert_eq!(plan.used_indices(), vec![col], "index must be chosen: {}", plan.explain());
-        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
 
         seq_rows.sort();
         idx_rows.sort();
@@ -564,14 +604,14 @@ mod tests {
         let bare = PhysicalConfig::new();
         let opt = Optimizer::new(&db);
         let (seq_res, mut seq_rows) =
-            Executor::new(&db, &bare).execute_collect(&q, &opt.optimize(&q, IndexSetView::real(&bare)));
+            Executor::new(&db, &bare).execute_collect(&q, &opt.optimize(&q, IndexSetView::real(&bare))).unwrap();
         assert_eq!(seq_res.row_count, 3);
 
         let mut cfg = PhysicalConfig::new();
         cfg.create_index(&db, col, IndexOrigin::Online);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
         assert_eq!(plan.used_indices(), vec![col], "IN must be index-sargable: {}", plan.explain());
-        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
         seq_rows.sort();
         idx_rows.sort();
         assert_eq!(seq_rows, idx_rows);
@@ -592,7 +632,7 @@ mod tests {
         );
         let opt = Optimizer::new(&db);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
         assert_eq!(res.row_count, 0, "id = 5 AND id = 7 matches nothing");
         // Overlapping ranges on the same column must intersect.
         let q = Query::single(
@@ -603,7 +643,7 @@ mod tests {
             ],
         );
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
         assert_eq!(res.row_count, 51, "intersection [50, 100]");
     }
 
@@ -667,11 +707,11 @@ mod tests {
             "{}",
             plan.explain()
         );
-        let (comp_res, mut comp_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+        let (comp_res, mut comp_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
 
         let bare = PhysicalConfig::new();
         let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
-        let (seq_res, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan);
+        let (seq_res, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan).unwrap();
         comp_rows.sort();
         seq_rows.sort();
         assert_eq!(comp_rows, seq_rows);
@@ -708,10 +748,10 @@ mod tests {
             "{}",
             plan.explain()
         );
-        let (res, mut rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan);
+        let (res, mut rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
         let bare = PhysicalConfig::new();
         let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
-        let (_, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan);
+        let (_, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan).unwrap();
         rows.sort();
         seq_rows.sort();
         assert_eq!(rows, seq_rows);
@@ -739,9 +779,9 @@ mod tests {
         );
         let hash_plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&PhysicalConfig::new()));
 
-        let (inl_res, inl_rows) = Executor::new(&db, &cfg).execute_collect(&q, &inl_plan);
+        let (inl_res, inl_rows) = Executor::new(&db, &cfg).execute_collect(&q, &inl_plan).unwrap();
         let (hash_res, hash_rows) =
-            Executor::new(&db, &PhysicalConfig::new()).execute_collect(&q, &hash_plan);
+            Executor::new(&db, &PhysicalConfig::new()).execute_collect(&q, &hash_plan).unwrap();
         assert_eq!(inl_res.row_count, hash_res.row_count);
         // Column order differs between the operators (outer-first vs
         // build-first); compare as multisets of sorted rows.
@@ -786,9 +826,9 @@ mod tests {
         );
         let opt = Optimizer::new(&db);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let (res, text) = Executor::new(&db, &cfg).explain_analyze(&q, &plan);
+        let (res, text) = Executor::new(&db, &cfg).explain_analyze(&q, &plan).unwrap();
         // Same result as plain execution.
-        let plain = Executor::new(&db, &cfg).execute(&q, &plan);
+        let plain = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
         assert_eq!(res.row_count, plain.row_count);
         assert_eq!(res.io, plain.io);
         // The rendering mentions each operator with estimates and actuals.
@@ -797,6 +837,60 @@ mod tests {
         assert!(text.contains("est rows="), "{text}");
         assert!(text.contains(&format!("actual rows={}", res.row_count)), "{text}");
         assert!(text.contains("total:"), "{text}");
+    }
+
+    #[test]
+    fn malformed_plan_join_key_is_typed_error_not_panic() {
+        // Regression: a hand-built plan whose join predicate references
+        // a table the join tree never produced used to panic; it must
+        // surface as ExecError so harness callers can propagate it.
+        use crate::plan::{AccessPath, PlanNode};
+        let (db, fact, dim) = db();
+        let cfg = PhysicalConfig::new();
+        let stray = TableId(99);
+        let scan = |t: TableId| PlanNode::Scan {
+            table: t,
+            path: AccessPath::SeqScan,
+            est_rows: 1.0,
+            est_cost: 1.0,
+        };
+        let plan = Plan {
+            root: PlanNode::HashJoin {
+                build: Box::new(scan(fact)),
+                probe: Box::new(scan(dim)),
+                // Predicate between `fact` and a table not in the tree.
+                on: vec![JoinPred::new(ColRef::new(fact, 1), ColRef::new(stray, 0))],
+                est_rows: 1.0,
+                est_cost: 2.0,
+            },
+        };
+        let q = Query::join(vec![fact, dim], vec![], vec![]);
+        let err = Executor::new(&db, &cfg).execute(&q, &plan).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::JoinKeyTableMissing { operator: "hash_join", table: stray }
+        );
+        assert!(err.to_string().contains("t99"), "{err}");
+        // The same contradiction through the INLJ path.
+        let mut icfg = PhysicalConfig::new();
+        let fk = ColRef::new(fact, 1);
+        icfg.create_index(&db, fk, colt_catalog::IndexOrigin::Online);
+        let plan = Plan {
+            root: PlanNode::IndexNlJoin {
+                outer: Box::new(scan(dim)),
+                inner: fact,
+                index: fk,
+                probe_on: JoinPred::new(fk, ColRef::new(stray, 0)),
+                residual_on: vec![],
+                est_rows: 1.0,
+                est_cost: 2.0,
+            },
+        };
+        let err = Executor::new(&db, &icfg).execute(&q, &plan).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::JoinKeyTableMissing { operator: "index_nl_join", table: stray }
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod aggregate;
 pub mod cost;
 pub mod executor;
+pub mod memo;
 pub mod optimizer;
 pub mod plan;
 pub mod query;
@@ -27,7 +28,8 @@ pub mod sql;
 pub mod whatif;
 
 pub use aggregate::{AggExpr, AggFunc, AggSpec};
-pub use executor::{Executor, QueryResult};
+pub use executor::{ExecError, Executor, QueryResult};
+pub use memo::{MemoHandle, WhatIfMemo};
 pub use optimizer::{IndexSetView, Optimizer, OptimizerOptions};
 pub use plan::{AccessPath, Plan, PlanNode};
 pub use query::{JoinPred, PredicateKind, Query, RangeBound, SelPred};

@@ -1,0 +1,390 @@
+//! What-if memo cache: epoch-scoped reuse of per-query derivations.
+//!
+//! COLT's profiler answers many `WhatIfOptimize` probes per epoch, and
+//! shifting workloads repeat templates: the same (query, candidate)
+//! pair is probed again and again while the physical configuration and
+//! statistics stand still. This module caches the expensive parts of
+//! those derivations — the optimized plan, the base access-path vector
+//! the what-if interface perturbs, and each per-candidate gain — keyed
+//! by the full [`Query`] structure, literals included.
+//!
+//! **Lookup cost.** A cached probe must be cheaper than re-deriving it,
+//! and at small scales a derivation is well under a microsecond, so the
+//! memo cannot afford ordered-map lookups that compare whole `Query`
+//! structures at every tree level. A query is therefore resolved once
+//! per call: an FNV-1a fingerprint of the query finds the entry id
+//! through a fingerprint index (full structural equality is checked
+//! exactly once, guarding against colliding fingerprints), and all
+//! per-probe reads and writes go through the dense `u64` id. The
+//! fingerprint is a pure function of the query — no random hasher
+//! state — so the memo's shape is reproducible run to run.
+//!
+//! **Invalidation is incremental, never a blanket clear.** Each entry
+//! carries a [`TableSnap`] per referenced table recording exactly the
+//! inputs the optimizer reads: the materialized single-column set, the
+//! materialized composite set, the table's statistics version, and its
+//! row count. A lookup re-validates its own snapshots and rebuilds only
+//! itself when stale; the epoch-boundary sweep walks all entries and
+//! drops only those whose snapshots no longer hold. An entry about
+//! table `A` survives a create/drop/analyze on table `B` untouched.
+//!
+//! **Determinism.** A cached value is the value the derivation would
+//! produce: gains and plans are pure functions of (query, materialized
+//! sets, statistics), and the snapshots pin all of those inputs. The
+//! cache therefore changes wall-clock time only — simulated costs,
+//! gains, counters of what-if calls, and every figure's stdout are
+//! byte-identical with the memo hot, cold, or disabled. Entry ids are
+//! insertion-ordered, eviction is FIFO (smallest id first), and all
+//! maps are ordered, so even the hit/miss counters are reproducible at
+//! any thread count.
+
+use crate::optimizer::ScanChoice;
+use crate::plan::Plan;
+use crate::query::Query;
+use colt_catalog::{ColRef, CompositeKey, Database, PhysicalConfig, TableId};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Entries retained before FIFO eviction kicks in. Sized to hold every
+/// distinct template of a busy epoch; one entry is a plan, a scan
+/// vector, and a handful of gains — a few kilobytes at most.
+const CAPACITY: usize = 4096;
+
+/// FNV-1a, fixed offset basis and prime: a deterministic, dependency-
+/// free 64-bit structural fingerprint (the standard library's default
+/// hasher makes no cross-version stability promise).
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn fingerprint(query: &Query) -> u64 {
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    query.hash(&mut h);
+    h.finish()
+}
+
+/// Everything the optimizer reads about one table, pinned at caching
+/// time. An entry is served only while every snapshot still holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TableSnap {
+    /// The table this snapshot pins.
+    table: TableId,
+    /// Materialized single-column indices on the table, in order.
+    mat_cols: Vec<ColRef>,
+    /// Materialized composite indices on the table, in order.
+    composites: Vec<CompositeKey>,
+    /// [`colt_catalog::Table::stats_version`] at caching time.
+    stats_version: u64,
+    /// Heap row count at caching time (catches inserts between
+    /// analyzes, which shift scan costs immediately).
+    row_count: u64,
+}
+
+impl TableSnap {
+    fn capture(db: &Database, config: &PhysicalConfig, table: TableId) -> Self {
+        let t = db.table(table);
+        TableSnap {
+            table,
+            mat_cols: config.columns().filter(|c| c.table == table).collect(),
+            composites: config.composites_on(table).map(|m| m.key.clone()).collect(),
+            stats_version: t.stats_version(),
+            row_count: t.heap.row_count() as u64,
+        }
+    }
+
+    fn holds(&self, db: &Database, config: &PhysicalConfig) -> bool {
+        let t = db.table(self.table);
+        t.stats_version() == self.stats_version
+            && t.heap.row_count() as u64 == self.row_count
+            && config.columns().filter(|c| c.table == self.table).eq(self.mat_cols.iter().copied())
+            && config.composites_on(self.table).map(|m| &m.key).eq(self.composites.iter())
+    }
+}
+
+/// Cached derivations for one query template.
+#[derive(Debug)]
+struct MemoEntry {
+    /// Fingerprint of the owning query (for index maintenance).
+    fp: u64,
+    /// One snapshot per table the query references.
+    snaps: Vec<TableSnap>,
+    /// The plan `optimize` produced under the snapshotted inputs.
+    plan: Option<Plan>,
+    /// The what-if base derivation: per-table best scans under the real
+    /// configuration and the resulting join-order cost.
+    base: Option<(Vec<ScanChoice>, f64)>,
+    /// Per-candidate gains already derived for this query.
+    gains: BTreeMap<ColRef, f64>,
+}
+
+impl MemoEntry {
+    fn holds(&self, db: &Database, config: &PhysicalConfig) -> bool {
+        self.snaps.iter().all(|s| s.holds(db, config))
+    }
+}
+
+/// A validated handle to one memo entry, returned by
+/// [`WhatIfMemo::resolve`] and consumed by the per-probe accessors.
+/// Handles are only meaningful until the next `resolve`/`sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoHandle(u64);
+
+/// The memo cache itself. Owned by [`crate::Eqo`]; all maps are ordered
+/// and ids are insertion-ordered, so iteration, eviction, and therefore
+/// hit/miss accounting are deterministic.
+#[derive(Debug, Default)]
+pub struct WhatIfMemo {
+    /// Entries by insertion id; the smallest id is the oldest entry.
+    entries: BTreeMap<u64, MemoEntry>,
+    /// Fingerprint → (query, id) pairs; the vector resolves fingerprint
+    /// collisions by full structural equality (almost always length 1).
+    index: BTreeMap<u64, Vec<(Query, u64)>>,
+    /// Next entry id.
+    next_id: u64,
+}
+
+impl WhatIfMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries (for tests and introspection).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve `query` to a validated entry, creating or rebuilding it
+    /// as needed. The flag reports whether a previously cached entry
+    /// had gone stale and was discarded (its replacement starts empty);
+    /// creating a first-time entry is not an invalidation.
+    pub fn resolve(
+        &mut self,
+        db: &Database,
+        config: &PhysicalConfig,
+        query: &Query,
+    ) -> (MemoHandle, bool) {
+        let fp = fingerprint(query);
+        let existing = self
+            .index
+            .get(&fp)
+            .and_then(|slot| slot.iter().find(|(q, _)| q == query))
+            .map(|&(_, id)| id);
+        let mut invalidated = false;
+        if let Some(id) = existing {
+            match self.entries.get(&id) {
+                Some(e) if e.holds(db, config) => return (MemoHandle(id), false),
+                _ => {
+                    self.remove(fp, id);
+                    invalidated = true;
+                }
+            }
+        }
+        if self.entries.len() >= CAPACITY {
+            // FIFO: ids are insertion-ordered, so the first key is the
+            // oldest entry.
+            if let Some((&oldest, e)) = self.entries.iter().next() {
+                let old_fp = e.fp;
+                self.remove(old_fp, oldest);
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let snaps = query.tables.iter().map(|&t| TableSnap::capture(db, config, t)).collect();
+        self.entries.insert(
+            id,
+            MemoEntry { fp, snaps, plan: None, base: None, gains: BTreeMap::new() },
+        );
+        self.index.entry(fp).or_default().push((query.clone(), id));
+        (MemoHandle(id), invalidated)
+    }
+
+    fn remove(&mut self, fp: u64, id: u64) {
+        self.entries.remove(&id);
+        if let Some(slot) = self.index.get_mut(&fp) {
+            slot.retain(|&(_, i)| i != id);
+            if slot.is_empty() {
+                self.index.remove(&fp);
+            }
+        }
+    }
+
+    /// Drop every entry whose snapshots no longer hold; keep the rest.
+    /// Called at epoch boundaries. Returns how many entries were
+    /// dropped.
+    pub fn sweep(&mut self, db: &Database, config: &PhysicalConfig) -> u64 {
+        let stale: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.holds(db, config))
+            .map(|(&id, e)| (e.fp, id))
+            .collect();
+        for &(fp, id) in &stale {
+            self.remove(fp, id);
+        }
+        stale.len() as u64
+    }
+
+    /// The cached plan behind a handle, if any.
+    pub fn plan(&self, h: MemoHandle) -> Option<Plan> {
+        self.entries.get(&h.0).and_then(|e| e.plan.clone())
+    }
+
+    /// Cache the plan behind a handle (no-op on a dead handle).
+    pub fn store_plan(&mut self, h: MemoHandle, plan: &Plan) {
+        if let Some(e) = self.entries.get_mut(&h.0) {
+            e.plan = Some(plan.clone());
+        }
+    }
+
+    /// The cached what-if base derivation behind a handle, if any.
+    pub fn base(&self, h: MemoHandle) -> Option<(Vec<ScanChoice>, f64)> {
+        self.entries.get(&h.0).and_then(|e| e.base.clone())
+    }
+
+    /// Cache the base derivation behind a handle.
+    pub fn store_base(&mut self, h: MemoHandle, scans: &[ScanChoice], cost: f64) {
+        if let Some(e) = self.entries.get_mut(&h.0) {
+            e.base = Some((scans.to_vec(), cost));
+        }
+    }
+
+    /// The cached gain of probing `col`, if any.
+    pub fn gain(&self, h: MemoHandle, col: ColRef) -> Option<f64> {
+        self.entries.get(&h.0).and_then(|e| e.gains.get(&col).copied())
+    }
+
+    /// Cache the gain of probing `col`.
+    pub fn store_gain(&mut self, h: MemoHandle, col: ColRef, gain: f64) {
+        if let Some(e) = self.entries.get_mut(&h.0) {
+            e.gains.insert(col, gain);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::SelPred;
+    use colt_catalog::{Column, IndexOrigin, TableSchema};
+    use colt_storage::{row_from, Value, ValueType};
+
+    fn db2() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let a = db.add_table(TableSchema::new(
+            "a",
+            vec![Column::new("x", ValueType::Int), Column::new("y", ValueType::Int)],
+        ));
+        let b = db.add_table(TableSchema::new("b", vec![Column::new("z", ValueType::Int)]));
+        db.insert_rows(a, (0..1_000i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 7)])));
+        db.insert_rows(b, (0..1_000i64).map(|i| row_from(vec![Value::Int(i)])));
+        db.analyze_all();
+        (db, a, b)
+    }
+
+    #[test]
+    fn resolve_distinguishes_fresh_valid_and_stale() {
+        let (db, a, _) = db2();
+        let mut cfg = PhysicalConfig::new();
+        let q = Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), 5i64)]);
+        let mut memo = WhatIfMemo::new();
+        let (h1, inv) = memo.resolve(&db, &cfg, &q);
+        assert!(!inv, "first sight is a plain miss");
+        let (h2, inv) = memo.resolve(&db, &cfg, &q);
+        assert!(!inv, "unchanged world revalidates");
+        assert_eq!(h1, h2, "revalidation keeps the same entry");
+        cfg.create_index(&db, ColRef::new(a, 1), IndexOrigin::Online);
+        let (h3, inv) = memo.resolve(&db, &cfg, &q);
+        assert!(inv, "materialized-set change invalidates");
+        assert_ne!(h1, h3, "the stale entry was replaced");
+        assert!(!memo.resolve(&db, &cfg, &q).1);
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_the_touched_table() {
+        let (db, a, b) = db2();
+        let mut cfg = PhysicalConfig::new();
+        let qa = Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), 5i64)]);
+        let qb = Query::single(b, vec![SelPred::eq(ColRef::new(b, 0), 5i64)]);
+        let mut memo = WhatIfMemo::new();
+        let (ha, _) = memo.resolve(&db, &cfg, &qa);
+        let (hb, _) = memo.resolve(&db, &cfg, &qb);
+        memo.store_gain(ha, ColRef::new(a, 0), 1.5);
+        memo.store_gain(hb, ColRef::new(b, 0), 2.5);
+        // An index on table `a` must not disturb table `b`'s entry.
+        cfg.create_index(&db, ColRef::new(a, 1), IndexOrigin::Online);
+        assert_eq!(memo.sweep(&db, &cfg), 1, "exactly the table-a entry drops");
+        assert_eq!(memo.gain(hb, ColRef::new(b, 0)), Some(2.5), "table-b gain survives");
+        assert_eq!(memo.gain(ha, ColRef::new(a, 0)), None, "table-a handle is dead");
+        let (hb2, inv) = memo.resolve(&db, &cfg, &qb);
+        assert!(!inv);
+        assert_eq!(hb2, hb, "table-b entry still live after the sweep");
+    }
+
+    #[test]
+    fn stats_and_row_count_changes_invalidate() {
+        let (mut db, a, _) = db2();
+        let cfg = PhysicalConfig::new();
+        let q = Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), 5i64)]);
+        let mut memo = WhatIfMemo::new();
+        memo.resolve(&db, &cfg, &q);
+        db.table_mut(a).analyze();
+        assert!(memo.resolve(&db, &cfg, &q).1, "analyze bumps stats_version");
+        db.insert_rows(a, std::iter::once(row_from(vec![Value::Int(-1), Value::Int(0)])));
+        assert!(memo.resolve(&db, &cfg, &q).1, "bare insert (no analyze) still invalidates");
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let (db, a, _) = db2();
+        let cfg = PhysicalConfig::new();
+        let mut memo = WhatIfMemo::new();
+        let col = ColRef::new(a, 0);
+        let query_for = |i: i64| Query::single(a, vec![SelPred::eq(col, i)]);
+        let mut handles = Vec::new();
+        for i in 0..(CAPACITY as i64 + 3) {
+            let (h, _) = memo.resolve(&db, &cfg, &query_for(i));
+            memo.store_gain(h, col, i as f64);
+            handles.push(h);
+        }
+        assert_eq!(memo.len(), CAPACITY);
+        // The three oldest templates were evicted, the newest survive.
+        for (i, &h) in handles.iter().take(3).enumerate() {
+            assert_eq!(memo.gain(h, col), None, "entry {i} evicted first");
+        }
+        let last = CAPACITY + 2;
+        assert_eq!(memo.gain(handles[last], col), Some(last as f64));
+        // Re-resolving an evicted template is a plain miss, not an
+        // invalidation, and the cache stays bounded.
+        assert!(!memo.resolve(&db, &cfg, &query_for(0)).1);
+        assert_eq!(memo.len(), CAPACITY);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structural() {
+        let (_, a, b) = db2();
+        let q1 = Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), 5i64)]);
+        let q2 = Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), 5i64)]);
+        let q3 = Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), 6i64)]);
+        let q4 = Query::single(b, vec![SelPred::eq(ColRef::new(b, 0), 5i64)]);
+        assert_eq!(fingerprint(&q1), fingerprint(&q2), "equal queries, equal fingerprints");
+        assert_ne!(fingerprint(&q1), fingerprint(&q3), "literals are part of the key");
+        assert_ne!(fingerprint(&q1), fingerprint(&q4));
+    }
+}

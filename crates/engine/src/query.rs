@@ -11,7 +11,7 @@ use colt_storage::Value;
 use std::fmt;
 
 /// One bound of a range predicate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RangeBound {
     /// The bounding value.
     pub value: Value,
@@ -20,7 +20,7 @@ pub struct RangeBound {
 }
 
 /// The comparison applied by a selection predicate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PredicateKind {
     /// `col = value`
     Eq(Value),
@@ -36,7 +36,7 @@ pub enum PredicateKind {
 }
 
 /// A single-column selection predicate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SelPred {
     /// The restricted column.
     pub col: ColRef,
@@ -165,7 +165,12 @@ impl JoinPred {
 }
 
 /// A select-project-join query.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Ord` compares the full structure — tables, joins, selections *and*
+/// literal values — so a query can key deterministic ordered maps (the
+/// what-if memo cache relies on this: two queries compare equal exactly
+/// when the optimizer would derive identical state for them).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Query {
     /// Referenced tables (no duplicates; self-joins are out of scope, as
     /// in the paper's workloads).

@@ -595,7 +595,7 @@ mod tests {
         assert_eq!(vs.len(), 3);
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&p.query, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&p.query, &plan);
+        let res = Executor::new(&db, &cfg).execute(&p.query, &plan).unwrap();
         assert_eq!(res.row_count, 30, "3 of 10 customers × 10 orders each");
     }
 
@@ -660,7 +660,7 @@ mod tests {
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&p.query, IndexSetView::real(&cfg));
         let (_, rows) =
-            Executor::new(&db, &cfg).execute_aggregate(&p.query, &plan, &p.agg.unwrap());
+            Executor::new(&db, &cfg).execute_aggregate(&p.query, &plan, &p.agg.unwrap()).unwrap();
         assert_eq!(rows, vec![vec![Value::Int(3), Value::Int(10), Value::Float(3.0)]]);
     }
 }

@@ -19,6 +19,7 @@
 //! verbatim, and only the affected table is re-priced before re-running
 //! the (cheap) join-ordering DP.
 
+use crate::memo::WhatIfMemo;
 use crate::optimizer::{IndexSetView, Optimizer, ScanChoice};
 use crate::plan::Plan;
 use crate::query::Query;
@@ -43,6 +44,17 @@ pub struct EqoCounters {
     pub optimizations: u64,
     /// Individual index probes answered through the what-if interface.
     pub whatif_calls: u64,
+    /// What-if derivations served from the memo cache instead of being
+    /// re-derived. Every served probe still counts in `whatif_calls`:
+    /// the memo changes how fast a probe is answered, never whether it
+    /// happened.
+    pub memo_hits: u64,
+    /// What-if derivations the memo had to compute (and then cached).
+    pub memo_misses: u64,
+    /// Memo entries discarded because their snapshot went stale (the
+    /// materialized set, statistics, or row count of a referenced table
+    /// changed, or an epoch sweep found them expired).
+    pub memo_invalidations: u64,
 }
 
 /// The extended query optimizer.
@@ -76,13 +88,20 @@ pub struct EqoCounters {
 #[derive(Debug)]
 pub struct Eqo<'a> {
     opt: Optimizer<'a>,
+    db: &'a Database,
+    memo: WhatIfMemo,
     counters: EqoCounters,
 }
 
 impl<'a> Eqo<'a> {
     /// Create an EQO over a database.
     pub fn new(db: &'a Database) -> Self {
-        Eqo { opt: Optimizer::new(db), counters: EqoCounters::default() }
+        Eqo {
+            opt: Optimizer::new(db),
+            db,
+            memo: WhatIfMemo::new(),
+            counters: EqoCounters::default(),
+        }
     }
 
     /// Work counters so far.
@@ -90,15 +109,65 @@ impl<'a> Eqo<'a> {
         self.counters
     }
 
+    /// Number of live what-if memo entries (introspection for tests and
+    /// experiments).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Epoch boundary: sweep the memo, dropping only entries whose
+    /// snapshots went stale (the scheduler's creates/drops and any
+    /// re-analyzes have been applied by now). Valid entries survive
+    /// into the next epoch — invalidation is incremental, never a
+    /// blanket clear.
+    pub fn end_epoch(&mut self, config: &PhysicalConfig) {
+        let dropped = self.memo.sweep(self.db, config);
+        if dropped > 0 {
+            self.counters.memo_invalidations += dropped;
+            colt_obs::counter("engine.whatif.memo_invalidate", dropped);
+        }
+    }
+
+    /// Bookkeeping shared by the memoized lookups: resolve the entry
+    /// for `query`, counting a lazily detected stale entry.
+    fn resolve_memo(
+        &mut self,
+        query: &Query,
+        config: &PhysicalConfig,
+    ) -> crate::memo::MemoHandle {
+        let (handle, invalidated) = self.memo.resolve(self.db, config, query);
+        if invalidated {
+            self.counters.memo_invalidations += 1;
+            colt_obs::counter("engine.whatif.memo_invalidate", 1);
+        }
+        handle
+    }
+
     /// Normal query optimization under the real configuration.
     pub fn optimize(&mut self, query: &Query, config: &PhysicalConfig) -> Plan {
         let _span = colt_obs::span("engine.optimize");
         self.counters.optimizations += 1;
-        self.opt.optimize(query, IndexSetView::real(config))
+        let handle = self.resolve_memo(query, config);
+        if let Some(plan) = self.memo.plan(handle) {
+            self.counters.memo_hits += 1;
+            colt_obs::counter("engine.whatif.memo_hit", 1);
+            return plan;
+        }
+        self.counters.memo_misses += 1;
+        colt_obs::counter("engine.whatif.memo_miss", 1);
+        let plan = self.opt.optimize(query, IndexSetView::real(config));
+        self.memo.store_plan(handle, &plan);
+        plan
     }
 
     /// `WhatIfOptimize(q, P)`: per-index query gains, one what-if call
     /// charged per probed index.
+    ///
+    /// Derivations are served through the what-if memo when the
+    /// physical configuration and statistics of the query's tables are
+    /// unchanged since they were cached; cached and freshly computed
+    /// gains are identical by construction (see [`crate::memo`]). Every
+    /// probe counts in [`EqoCounters::whatif_calls`] either way.
     pub fn what_if_optimize(
         &mut self,
         query: &Query,
@@ -111,16 +180,51 @@ impl<'a> Eqo<'a> {
         let _span = colt_obs::span("engine.whatif");
         colt_obs::counter("engine.whatif_calls", probes.len() as u64);
         self.counters.whatif_calls += probes.len() as u64;
+        let handle = self.resolve_memo(query, config);
 
-        // Memoized per-table access paths under the unmodified view.
+        let cached: Vec<Option<f64>> =
+            probes.iter().map(|&col| self.memo.gain(handle, col)).collect();
+        let hits = cached.iter().filter(|g| g.is_some()).count() as u64;
+        let misses = probes.len() as u64 - hits;
+        if hits > 0 {
+            self.counters.memo_hits += hits;
+            colt_obs::counter("engine.whatif.memo_hit", hits);
+        }
+        if misses == 0 {
+            return probes
+                .iter()
+                .zip(cached)
+                .map(|(&col, g)| IndexGain { col, gain: g.unwrap_or(0.0) })
+                .collect();
+        }
+        self.counters.memo_misses += misses;
+        colt_obs::counter("engine.whatif.memo_miss", misses);
+
+        // Memoized per-table access paths under the unmodified view,
+        // reused across probes of this call and — through the memo —
+        // across calls within the epoch.
         let base_view = IndexSetView::real(config);
-        let base_scans: Vec<ScanChoice> =
-            query.tables.iter().map(|&t| self.opt.best_scan(query, t, base_view)).collect();
-        let base_cost = self.opt.join_order(query, base_scans.clone(), base_view).est_cost();
+        let (base_scans, base_cost) = match self.memo.base(handle) {
+            Some(b) => b,
+            None => {
+                let scans: Vec<ScanChoice> = query
+                    .tables
+                    .iter()
+                    .map(|&t| self.opt.best_scan(query, t, base_view))
+                    .collect();
+                let cost = self.opt.join_order(query, scans.clone(), base_view).est_cost();
+                self.memo.store_base(handle, &scans, cost);
+                (scans, cost)
+            }
+        };
 
         probes
             .iter()
-            .map(|&col| {
+            .zip(cached)
+            .map(|(&col, known)| {
+                if let Some(gain) = known {
+                    return IndexGain { col, gain };
+                }
                 let materialized = config.contains(col);
                 let (plus, minus) = if materialized {
                     (BTreeSet::new(), single(col))
@@ -151,7 +255,9 @@ impl<'a> Eqo<'a> {
                     // base = cost without I; probe has I.
                     base_cost - probe_cost
                 };
-                IndexGain { col, gain: gain.max(0.0) }
+                let gain = gain.max(0.0);
+                self.memo.store_gain(handle, col, gain);
+                IndexGain { col, gain }
             })
             .collect()
     }
@@ -255,5 +361,90 @@ mod tests {
         let q = Query::single(t, vec![]);
         assert!(eqo.what_if_optimize(&q, &[], &cfg).is_empty());
         assert_eq!(eqo.counters().whatif_calls, 0);
+    }
+
+    #[test]
+    fn memo_counters_account_for_every_derivation() {
+        let (db, t) = db();
+        let cfg = PhysicalConfig::new();
+        let mut eqo = Eqo::new(&db);
+        let probes = [ColRef::new(t, 0), ColRef::new(t, 1)];
+        for i in 0..5i64 {
+            let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 0), i % 2)]);
+            eqo.optimize(&q, &cfg);
+            eqo.what_if_optimize(&q, &probes, &cfg);
+        }
+        let c = eqo.counters();
+        // Every memo-mediated derivation — one per optimize call, one
+        // per probe — is either a hit or a miss, never both or neither.
+        assert_eq!(c.memo_hits + c.memo_misses, c.whatif_calls + c.optimizations);
+        // Two distinct templates cycled five times: rounds 2+ are pure
+        // hits, so hits strictly dominate.
+        assert!(c.memo_hits > c.memo_misses, "counters: {c:?}");
+        assert_eq!(c.memo_invalidations, 0, "nothing changed, nothing invalidates");
+    }
+
+    #[test]
+    fn repeated_probes_are_served_from_the_memo_identically() {
+        let (db, t) = db();
+        let cfg = PhysicalConfig::new();
+        let mut eqo = Eqo::new(&db);
+        let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 0), 7i64)]);
+        let probes = [ColRef::new(t, 0), ColRef::new(t, 1), ColRef::new(t, 2)];
+        let cold = eqo.what_if_optimize(&q, &probes, &cfg);
+        let before = eqo.counters();
+        assert_eq!(before.memo_misses, probes.len() as u64);
+        let warm = eqo.what_if_optimize(&q, &probes, &cfg);
+        let after = eqo.counters();
+        assert_eq!(warm, cold, "cached gains must be bit-identical");
+        assert_eq!(after.memo_hits - before.memo_hits, probes.len() as u64);
+        assert_eq!(after.memo_misses, before.memo_misses, "no re-derivation on the warm call");
+        // A warmed memo must also agree with a completely fresh EQO.
+        let fresh = Eqo::new(&db).what_if_optimize(&q, &probes, &cfg);
+        assert_eq!(fresh, warm);
+        let plan_warm = eqo.optimize(&q, &cfg);
+        let plan_fresh = Eqo::new(&db).optimize(&q, &cfg);
+        assert_eq!(plan_warm, plan_fresh, "cached plan must equal a fresh derivation");
+    }
+
+    #[test]
+    fn configuration_change_invalidates_only_lazily_and_scoped() {
+        let mut db = Database::new();
+        let a = db.add_table(TableSchema::new(
+            "a",
+            vec![Column::new("x", ValueType::Int)],
+        ));
+        let b = db.add_table(TableSchema::new(
+            "b",
+            vec![Column::new("z", ValueType::Int)],
+        ));
+        db.insert_rows(a, (0..10_000i64).map(|i| row_from(vec![Value::Int(i)])));
+        db.insert_rows(b, (0..10_000i64).map(|i| row_from(vec![Value::Int(i)])));
+        db.analyze_all();
+        let mut cfg = PhysicalConfig::new();
+        let mut eqo = Eqo::new(&db);
+        let qa = Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), 7i64)]);
+        let qb = Query::single(b, vec![SelPred::eq(ColRef::new(b, 0), 7i64)]);
+        let gains_a = eqo.what_if_optimize(&qa, &[ColRef::new(a, 0)], &cfg);
+        eqo.what_if_optimize(&qb, &[ColRef::new(b, 0)], &cfg);
+        assert_eq!(eqo.memo_len(), 2);
+
+        // Materialize the probed index on `a` mid-epoch: the next probe
+        // of `qa` detects the stale snapshot lazily and re-derives; the
+        // reverse probe must agree with the forward one.
+        cfg.create_index(&db, ColRef::new(a, 0), IndexOrigin::Online);
+        let gains_a2 = eqo.what_if_optimize(&qa, &[ColRef::new(a, 0)], &cfg);
+        assert_eq!(eqo.counters().memo_invalidations, 1);
+        assert!((gains_a2[0].gain - gains_a[0].gain).abs() < 1e-9);
+        // Table `b`'s entry was untouched: its probe is a pure hit.
+        let hits_before = eqo.counters().memo_hits;
+        eqo.what_if_optimize(&qb, &[ColRef::new(b, 0)], &cfg);
+        assert_eq!(eqo.counters().memo_hits, hits_before + 1);
+        assert_eq!(eqo.counters().memo_invalidations, 1, "b was never invalidated");
+
+        // The epoch sweep keeps both (now-consistent) entries.
+        eqo.end_epoch(&cfg);
+        assert_eq!(eqo.memo_len(), 2);
+        assert_eq!(eqo.counters().memo_invalidations, 1);
     }
 }

@@ -112,7 +112,7 @@ fn single_table_matches_reference() {
             }
         }
         let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
         assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}");
     }
 }
@@ -142,7 +142,7 @@ fn join_matches_reference() {
         }
         let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
         assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}: {}", plan.explain());
     }
 }
@@ -224,9 +224,9 @@ fn aggregate_count_matches_rows() {
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
         let exec = Executor::new(&db, &cfg);
-        let plain = exec.execute(&q, &plan).row_count;
+        let plain = exec.execute(&q, &plan).unwrap().row_count;
         let spec = AggSpec { group_by: vec![], exprs: vec![AggExpr::count_star()] };
-        let (_, rows) = exec.execute_aggregate(&q, &plan, &spec);
+        let (_, rows) = exec.execute_aggregate(&q, &plan, &spec).unwrap();
         assert_eq!(rows[0][0], Value::Int(plain as i64), "case {case}");
     }
 }
@@ -251,7 +251,7 @@ fn parsed_sql_matches_reference() {
         assert!(parsed.agg.is_none(), "case {case}");
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&parsed.query, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&parsed.query, &plan);
+        let res = Executor::new(&db, &cfg).execute(&parsed.query, &plan).unwrap();
         assert_eq!(res.row_count as usize, reference(&db, &parsed.query), "case {case}");
         // And the parsed predicates have the intended shapes.
         let eq_ok = matches!(parsed.query.selections[0].kind, PredicateKind::Eq(_));
@@ -296,7 +296,7 @@ fn three_table_chain_matches_reference() {
         }
         let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan);
+        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
         assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}: {}", plan.explain());
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::runner::{Experiment, Policy, RunResult};
 use colt_catalog::Database;
-use colt_engine::Query;
+use colt_engine::{ExecError, Query};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -62,7 +62,7 @@ impl<'a> Cell<'a> {
     }
 
     /// Run the cell serially in the current thread.
-    pub fn run(&self) -> RunResult {
+    pub fn run(&self) -> Result<RunResult, ExecError> {
         let mut exp = Experiment::new(self.db, self.workload).policy(self.policy.clone());
         if let Some(a) = self.analyzed {
             exp = exp.analyzed(a);
@@ -149,12 +149,12 @@ pub fn default_threads() -> usize {
 /// threads fan the cells over a scoped pool with a work-stealing claim
 /// counter. Either way the results — including every per-query sample
 /// and the `summary_json` bytes — are identical.
-pub fn run_cells(cells: &[Cell<'_>], threads: usize) -> ParallelReport {
+pub fn run_cells(cells: &[Cell<'_>], threads: usize) -> Result<ParallelReport, ExecError> {
     let start = Instant::now();
     let n = cells.len();
     let workers = threads.max(1).min(n.max(1));
 
-    let mut indexed: Vec<(usize, CellResult)> = if workers <= 1 {
+    let mut indexed: Vec<(usize, Result<CellResult, ExecError>)> = if workers <= 1 {
         cells.iter().enumerate().map(|(i, cell)| (i, time_cell(cell, i, n))).collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -183,19 +183,19 @@ pub fn run_cells(cells: &[Cell<'_>], threads: usize) -> ParallelReport {
     };
     indexed.sort_by_key(|(i, _)| *i);
 
-    ParallelReport {
-        cells: indexed.into_iter().map(|(_, c)| c).collect(),
+    Ok(ParallelReport {
+        cells: indexed.into_iter().map(|(_, c)| c).collect::<Result<_, _>>()?,
         wall_millis: start.elapsed().as_secs_f64() * 1e3,
         threads: workers,
-    }
+    })
 }
 
 /// Run every cell on [`default_threads`] workers.
-pub fn run_cells_default(cells: &[Cell<'_>]) -> ParallelReport {
+pub fn run_cells_default(cells: &[Cell<'_>]) -> Result<ParallelReport, ExecError> {
     run_cells(cells, default_threads())
 }
 
-fn time_cell(cell: &Cell<'_>, index: usize, total: usize) -> CellResult {
+fn time_cell(cell: &Cell<'_>, index: usize, total: usize) -> Result<CellResult, ExecError> {
     // Progress goes through the event sink (stderr only), so stdout
     // stays byte-identical across thread counts and COLT_OBS levels.
     colt_obs::progress(
@@ -206,7 +206,7 @@ fn time_cell(cell: &Cell<'_>, index: usize, total: usize) -> CellResult {
             .field("policy", cell.policy.label()),
     );
     let t0 = Instant::now();
-    let result = cell.run();
+    let result = cell.run()?;
     let cell_millis = t0.elapsed().as_secs_f64() * 1e3;
     colt_obs::progress(
         colt_obs::Event::new("cell_finish")
@@ -216,7 +216,7 @@ fn time_cell(cell: &Cell<'_>, index: usize, total: usize) -> CellResult {
             .field("policy", cell.policy.label())
             .field("wall_ms", cell_millis),
     );
-    CellResult { label: cell.label.clone(), result, cell_millis }
+    Ok(CellResult { label: cell.label.clone(), result, cell_millis })
 }
 
 // Compile-time audit of the thread-safety contract: the shared state
@@ -272,8 +272,8 @@ mod tests {
         let (db, t) = setup();
         let w = stream(t, 80);
         let cells = arm_cells(&db, &w);
-        let serial = run_cells(&cells, 1);
-        let parallel = run_cells(&cells, 3);
+        let serial = run_cells(&cells, 1).unwrap();
+        let parallel = run_cells(&cells, 3).unwrap();
         assert_eq!(serial.cells.len(), 3);
         assert_eq!(parallel.threads, 3);
         for (a, b) in serial.cells.iter().zip(&parallel.cells) {
@@ -288,7 +288,7 @@ mod tests {
         let (db, t) = setup();
         let w = stream(t, 40);
         let cells = arm_cells(&db, &w);
-        let report = run_cells(&cells, 2);
+        let report = run_cells(&cells, 2).unwrap();
         let labels: Vec<&str> = report.cells.iter().map(|c| c.label.as_str()).collect();
         assert_eq!(labels, ["NONE", "OFFLINE", "COLT"]);
         assert!(report.get("COLT").is_some());
@@ -302,14 +302,14 @@ mod tests {
         let (db, t) = setup();
         let w = stream(t, 20);
         let cells = vec![Cell::new("only", &db, &w, Policy::None)];
-        let report = run_cells(&cells, 8);
+        let report = run_cells(&cells, 8).unwrap();
         assert_eq!(report.threads, 1);
         assert_eq!(report.cells.len(), 1);
     }
 
     #[test]
     fn empty_batch() {
-        let report = run_cells(&[], 4);
+        let report = run_cells(&[], 4).unwrap();
         assert!(report.cells.is_empty());
         assert_eq!(report.speedup(), if report.wall_millis > 0.0 { 0.0 } else { 1.0 });
     }

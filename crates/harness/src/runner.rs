@@ -19,7 +19,7 @@
 use colt_catalog::{ColRef, Database, PhysicalConfig};
 use colt_core::json::Json;
 use colt_core::{ColtConfig, ColtTuner, MaterializationStrategy, Trace};
-use colt_engine::{Eqo, Executor, Query};
+use colt_engine::{Eqo, ExecError, Executor, Query};
 use colt_offline::OfflineSelection;
 
 /// Optimizer charge per what-if probe, in cost units. The prototype's
@@ -164,7 +164,8 @@ impl RunResult {
 /// # let workload: Vec<colt_engine::Query> = Vec::new();
 /// let colt = Experiment::new(&db, &workload)
 ///     .policy(Policy::colt(colt_core::ColtConfig::default()))
-///     .run();
+///     .run()
+///     .expect("plans match their queries");
 /// println!("{}", colt.summary_json());
 /// ```
 #[derive(Debug, Clone)]
@@ -204,9 +205,13 @@ impl<'a> Experiment<'a> {
     /// recorder already installed on the thread when there is one
     /// (callers — and tests — can thereby force a level), else taken
     /// from `COLT_OBS`; the previous recorder is restored afterwards.
-    pub fn run(&self) -> RunResult {
+    ///
+    /// Fails only when a plan contradicts its query (see
+    /// [`colt_engine::ExecError`]) — impossible for plans the run's own
+    /// optimizer produced.
+    pub fn run(&self) -> Result<RunResult, ExecError> {
         let prev = colt_obs::install(colt_obs::Recorder::new(colt_obs::sink_level()));
-        let mut result = {
+        let result = {
             let _span = colt_obs::span("harness.run");
             match &self.policy {
                 Policy::None => self.run_untuned(PhysicalConfig::new(), Policy::None, None),
@@ -219,12 +224,15 @@ impl<'a> Experiment<'a> {
                 Policy::Colt(config, strategy) => self.run_colt(config.clone(), *strategy),
             }
         };
-        result.obs =
-            colt_obs::take().map(colt_obs::Recorder::into_snapshot).unwrap_or_default();
+        // Restore the previous recorder even on the error path, so a
+        // failed run cannot leave a stale recorder installed.
+        let snapshot = colt_obs::take().map(colt_obs::Recorder::into_snapshot).unwrap_or_default();
         if let Some(p) = prev {
             colt_obs::install(p);
         }
-        result
+        let mut result = result?;
+        result.obs = snapshot;
+        Ok(result)
     }
 
     /// Shared path for the two untuned policies: run the stream under a
@@ -234,7 +242,7 @@ impl<'a> Experiment<'a> {
         config: PhysicalConfig,
         policy: Policy,
         offline: Option<OfflineSelection>,
-    ) -> RunResult {
+    ) -> Result<RunResult, ExecError> {
         let mut eqo = Eqo::new(self.db);
         let samples = self
             .workload
@@ -247,14 +255,14 @@ impl<'a> Experiment<'a> {
                 };
                 let res = {
                     let s = colt_obs::span("harness.execute");
-                    let r = Executor::new(self.db, &config).execute(q, &plan);
+                    let r = Executor::new(self.db, &config).execute(q, &plan)?;
                     s.sim_ms(r.millis);
                     r
                 };
-                QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count }
+                Ok(QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count })
             })
-            .collect();
-        RunResult {
+            .collect::<Result<Vec<_>, ExecError>>()?;
+        Ok(RunResult {
             policy,
             samples,
             trace: Trace::new(),
@@ -262,7 +270,7 @@ impl<'a> Experiment<'a> {
             offline,
             profiled_indices: 0,
             obs: colt_obs::Snapshot::default(),
-        }
+        })
     }
 
     /// COLT: charge every cost of tuning to the stream.
@@ -274,7 +282,11 @@ impl<'a> Experiment<'a> {
     ///   queries meanwhile run without the pending indices.
     /// * `Piggyback` — builds ride on later sequential scans; only the
     ///   sort and index writes are charged.
-    fn run_colt(&self, colt_config: ColtConfig, strategy: MaterializationStrategy) -> RunResult {
+    fn run_colt(
+        &self,
+        colt_config: ColtConfig,
+        strategy: MaterializationStrategy,
+    ) -> Result<RunResult, ExecError> {
         let db = self.db;
         let mut physical = PhysicalConfig::new();
         let mut tuner = ColtTuner::with_strategy(colt_config.clone(), strategy);
@@ -290,7 +302,7 @@ impl<'a> Experiment<'a> {
             };
             let res = {
                 let s = colt_obs::span("harness.execute");
-                let r = Executor::new(db, &physical).execute(q, &plan);
+                let r = Executor::new(db, &physical).execute(q, &plan)?;
                 s.sim_ms(r.millis);
                 r
             };
@@ -318,7 +330,7 @@ impl<'a> Experiment<'a> {
             });
         }
 
-        RunResult {
+        Ok(RunResult {
             policy: Policy::Colt(colt_config, strategy),
             profiled_indices: tuner.profiler().profiled_index_count(),
             trace: tuner.trace().clone(),
@@ -326,13 +338,13 @@ impl<'a> Experiment<'a> {
             offline: None,
             samples,
             obs: colt_obs::Snapshot::default(),
-        }
+        })
     }
 }
 
 /// Run the stream with no tuning at all.
 #[deprecated(note = "use Experiment::new(db, workload).run() (Policy::None is the default)")]
-pub fn run_none(db: &Database, workload: &[Query]) -> RunResult {
+pub fn run_none(db: &Database, workload: &[Query]) -> Result<RunResult, ExecError> {
     Experiment::new(db, workload).run()
 }
 
@@ -345,13 +357,17 @@ pub fn run_offline(
     workload: &[Query],
     analyzed: &[Query],
     budget_pages: u64,
-) -> RunResult {
+) -> Result<RunResult, ExecError> {
     Experiment::new(db, workload).policy(Policy::Offline { budget_pages }).analyzed(analyzed).run()
 }
 
 /// Run the stream under COLT, charging all tuning overhead to it.
 #[deprecated(note = "use Experiment::new(db, workload).policy(Policy::colt(config)).run()")]
-pub fn run_colt(db: &Database, workload: &[Query], colt_config: ColtConfig) -> RunResult {
+pub fn run_colt(
+    db: &Database,
+    workload: &[Query],
+    colt_config: ColtConfig,
+) -> Result<RunResult, ExecError> {
     Experiment::new(db, workload).policy(Policy::colt(colt_config)).run()
 }
 
@@ -364,7 +380,7 @@ pub fn run_colt_with_strategy(
     workload: &[Query],
     colt_config: ColtConfig,
     strategy: MaterializationStrategy,
-) -> RunResult {
+) -> Result<RunResult, ExecError> {
     Experiment::new(db, workload).policy(Policy::Colt(colt_config, strategy)).run()
 }
 
@@ -396,6 +412,7 @@ mod tests {
         Experiment::new(db, w)
             .policy(Policy::colt(ColtConfig { storage_budget_pages: budget, ..Default::default() }))
             .run()
+            .unwrap()
     }
 
     #[test]
@@ -404,9 +421,9 @@ mod tests {
         let w = selective_stream(t, 200);
         let budget = db.index_estimate(ColRef::new(t, 0)).pages + 10;
 
-        let none = Experiment::new(&db, &w).run();
+        let none = Experiment::new(&db, &w).run().unwrap();
         let offline =
-            Experiment::new(&db, &w).policy(Policy::Offline { budget_pages: budget }).run();
+            Experiment::new(&db, &w).policy(Policy::Offline { budget_pages: budget }).run().unwrap();
         let colt = run_colt_budget(&db, &w, budget);
 
         assert_eq!(none.policy, Policy::None);
@@ -446,7 +463,7 @@ mod tests {
     fn bucket_sums_cover_everything() {
         let (db, t) = setup();
         let w = selective_stream(t, 100);
-        let none = Experiment::new(&db, &w).run();
+        let none = Experiment::new(&db, &w).run().unwrap();
         let buckets = none.bucket_millis(30);
         assert_eq!(buckets.len(), 4); // 30+30+30+10
         let sum: f64 = buckets.iter().sum();
@@ -471,9 +488,9 @@ mod tests {
         let (db, t) = setup();
         let w = selective_stream(t, 60);
         let budget = 100_000;
-        let none = Experiment::new(&db, &w).run();
+        let none = Experiment::new(&db, &w).run().unwrap();
         let offline =
-            Experiment::new(&db, &w).policy(Policy::Offline { budget_pages: budget }).run();
+            Experiment::new(&db, &w).policy(Policy::Offline { budget_pages: budget }).run().unwrap();
         let colt = run_colt_budget(&db, &w, budget);
         for i in 0..w.len() {
             assert_eq!(none.samples[i].rows, offline.samples[i].rows, "query {i}");
@@ -486,21 +503,23 @@ mod tests {
     fn deprecated_shims_still_run() {
         let (db, t) = setup();
         let w = selective_stream(t, 30);
-        let a = run_none(&db, &w);
-        let b = Experiment::new(&db, &w).run();
+        let a = run_none(&db, &w).unwrap();
+        let b = Experiment::new(&db, &w).run().unwrap();
         assert_eq!(a.samples, b.samples);
         let c =
-            run_colt(&db, &w, ColtConfig { storage_budget_pages: 100_000, ..Default::default() });
+            run_colt(&db, &w, ColtConfig { storage_budget_pages: 100_000, ..Default::default() })
+                .unwrap();
         let d = run_colt_budget(&db, &w, 100_000);
         assert_eq!(c.samples, d.samples);
-        let e = run_offline(&db, &w, &w, 100_000);
+        let e = run_offline(&db, &w, &w, 100_000).unwrap();
         assert_eq!(e.policy.label(), "OFFLINE");
         let f = run_colt_with_strategy(
             &db,
             &w,
             ColtConfig { storage_budget_pages: 100_000, ..Default::default() },
             MaterializationStrategy::Immediate,
-        );
+        )
+        .unwrap();
         assert_eq!(f.samples, d.samples);
     }
 }

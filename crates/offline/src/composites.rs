@@ -193,9 +193,9 @@ mod tests {
         let mut comp_ms = 0.0;
         for q in &w {
             let p1 = opt.optimize(q, IndexSetView::real(&bare));
-            bare_ms += Executor::new(&db, &bare).execute(q, &p1).millis;
+            bare_ms += Executor::new(&db, &bare).execute(q, &p1).expect("plan matches query").millis;
             let p2 = opt.optimize(q, IndexSetView::real(&with));
-            comp_ms += Executor::new(&db, &with).execute(q, &p2).millis;
+            comp_ms += Executor::new(&db, &with).execute(q, &p2).expect("plan matches query").millis;
         }
         assert!(
             comp_ms < bare_ms / 5.0,

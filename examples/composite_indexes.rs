@@ -54,7 +54,7 @@ fn main() {
     for q in &workload {
         for (i, cfg) in [&bare, &single, &composite].iter().enumerate() {
             let plan = opt.optimize(q, IndexSetView::real(cfg));
-            totals[i] += Executor::new(db, cfg).execute(q, &plan).millis;
+            totals[i] += Executor::new(db, cfg).execute(q, &plan).expect("plan matches query").millis;
         }
     }
     println!();
@@ -75,7 +75,7 @@ fn main() {
     println!();
     println!("plan with the composite materialized:");
     print!("{}", plan.explain());
-    let (res, text) = Executor::new(db, &composite).explain_analyze(&workload[0], &plan);
+    let (res, text) = Executor::new(db, &composite).explain_analyze(&workload[0], &plan).expect("plan matches query");
     println!();
     println!("EXPLAIN ANALYZE:");
     print!("{text}");

@@ -86,7 +86,8 @@ fn main() {
         let (result, rows) = match &parsed.agg {
             Some(spec) => exec.execute_aggregate(&parsed.query, &plan, spec),
             None => exec.execute_collect(&parsed.query, &plan),
-        };
+        }
+        .expect("plan matches query");
         for r in rows.iter().take(10) {
             println!("  {}", r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" | "));
         }

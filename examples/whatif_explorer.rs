@@ -77,8 +77,8 @@ fn main() {
     // in *direction* (estimates are statistics-based, execution is real).
     let no_index = PhysicalConfig::new();
     let plan_seq = Optimizer::new(db).optimize(&query, IndexSetView::real(&no_index));
-    let (seq_res, mut rows_seq) = Executor::new(db, &no_index).execute_collect(&query, &plan_seq);
-    let (idx_res, mut rows_idx) = Executor::new(db, &config).execute_collect(&query, &indexed);
+    let (seq_res, mut rows_seq) = Executor::new(db, &no_index).execute_collect(&query, &plan_seq).expect("plan matches query");
+    let (idx_res, mut rows_idx) = Executor::new(db, &config).execute_collect(&query, &indexed).expect("plan matches query");
     rows_seq.sort();
     rows_idx.sort();
     assert_eq!(rows_seq, rows_idx, "same answer either way");

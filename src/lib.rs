@@ -64,7 +64,7 @@ pub mod prelude {
         ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableId, TableSchema,
     };
     pub use colt_core::{ColtConfig, ColtTuner, MaterializationStrategy, Trace};
-    pub use colt_engine::{Eqo, Executor, IndexSetView, Optimizer, Plan, Query, SelPred};
+    pub use colt_engine::{Eqo, ExecError, Executor, IndexSetView, Optimizer, Plan, Query, SelPred};
     pub use colt_harness::{Cell, Experiment, ParallelReport, Policy, RunResult};
     pub use colt_storage::{row_from, IoStats, Value, ValueType};
     pub use colt_workload::{generate, Preset, TpchData, DEFAULT_SCALE};

@@ -19,13 +19,13 @@ fn stable_workload_converges_to_offline() {
     let preset = presets::stable(&data, SEED);
     let offline = Experiment::new(&data.db, &preset.queries)
         .policy(Policy::Offline { budget_pages: preset.budget_pages })
-        .run();
+        .run().expect("run failed");
     let colt = Experiment::new(&data.db, &preset.queries)
         .policy(Policy::colt(ColtConfig {
             storage_budget_pages: preset.budget_pages,
             ..Default::default()
         }))
-        .run();
+        .run().expect("run failed");
 
     // After the first 100 queries, COLT tracks OFFLINE closely.
     let tail = 100..preset.queries.len();
@@ -41,7 +41,7 @@ fn stable_workload_converges_to_offline() {
     // COLT must also clearly beat doing nothing. (At this reduced test
     // scale many queries hit tiny floor-sized tables where no index can
     // help, so the achievable margin is smaller than at bench scale.)
-    let none = Experiment::new(&data.db, &preset.queries).run();
+    let none = Experiment::new(&data.db, &preset.queries).run().expect("run failed");
     assert!(
         colt.total_millis() < 0.9 * none.total_millis(),
         "COLT {:.0} vs no tuning {:.0}",
@@ -62,13 +62,13 @@ fn shifting_workload_beats_offline() {
     let preset = presets::shifting(&data, SEED);
     let offline = Experiment::new(&data.db, &preset.queries)
         .policy(Policy::Offline { budget_pages: preset.budget_pages })
-        .run();
+        .run().expect("run failed");
     let colt = Experiment::new(&data.db, &preset.queries)
         .policy(Policy::colt(ColtConfig {
             storage_budget_pages: preset.budget_pages,
             ..Default::default()
         }))
-        .run();
+        .run().expect("run failed");
 
     let reduction = 1.0 - colt.total_millis() / offline.total_millis();
     assert!(
@@ -100,7 +100,7 @@ fn whatif_overhead_self_regulates() {
     let cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
     let epoch_len = cfg.epoch_length;
     let max_budget = cfg.max_whatif_per_epoch;
-    let colt = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run();
+    let colt = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run().expect("run failed");
     let series = colt.trace.whatif_per_epoch();
 
     // Budget respected everywhere.
@@ -157,13 +157,13 @@ fn short_noise_bursts_are_ignored() {
     let offline = Experiment::new(&data.db, &preset.queries)
         .policy(Policy::Offline { budget_pages: preset.budget_pages })
         .analyzed(&q1_only)
-        .run();
+        .run().expect("run failed");
     let colt = Experiment::new(&data.db, &preset.queries)
         .policy(Policy::colt(ColtConfig {
             storage_budget_pages: preset.budget_pages,
             ..Default::default()
         }))
-        .run();
+        .run().expect("run failed");
     let ratio = time_ratio(&colt, &offline, plan.warmup);
     assert!(
         ratio < 1.08,
@@ -182,10 +182,10 @@ fn self_regulation_saves_whatif_calls() {
     let queries = &preset.queries[..700];
     let base = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
 
-    let regulated = Experiment::new(&data.db, queries).policy(Policy::colt(base.clone())).run();
+    let regulated = Experiment::new(&data.db, queries).policy(Policy::colt(base.clone())).run().expect("run failed");
     let fixed = Experiment::new(&data.db, queries)
         .policy(Policy::colt(ColtConfig { self_regulation: false, ..base }))
-        .run();
+        .run().expect("run failed");
 
     assert!(
         (regulated.trace.total_whatif() as f64) < 0.85 * fixed.trace.total_whatif() as f64,
@@ -209,8 +209,8 @@ fn runs_are_deterministic() {
     let preset = presets::stable(&data, 7);
     let queries = &preset.queries[..150];
     let cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
-    let a = Experiment::new(&data.db, queries).policy(Policy::colt(cfg.clone())).run();
-    let b = Experiment::new(&data.db, queries).policy(Policy::colt(cfg)).run();
+    let a = Experiment::new(&data.db, queries).policy(Policy::colt(cfg.clone())).run().expect("run failed");
+    let b = Experiment::new(&data.db, queries).policy(Policy::colt(cfg)).run().expect("run failed");
     assert_eq!(a.total_millis(), b.total_millis());
     assert_eq!(a.final_indices, b.final_indices);
     assert_eq!(a.trace.whatif_per_epoch(), b.trace.whatif_per_epoch());
@@ -228,13 +228,13 @@ fn multiuser_shifting_still_wins() {
     let merged = interleave(&streams, SEED);
     let offline = Experiment::new(&data.db, &merged)
         .policy(Policy::Offline { budget_pages: preset.budget_pages })
-        .run();
+        .run().expect("run failed");
     let colt = Experiment::new(&data.db, &merged)
         .policy(Policy::colt(ColtConfig {
             storage_budget_pages: preset.budget_pages,
             ..Default::default()
         }))
-        .run();
+        .run().expect("run failed");
     let reduction = 1.0 - colt.total_millis() / offline.total_millis();
     assert!(reduction > 0.05, "multi-user reduction {:.1}%", reduction * 100.0);
 }
@@ -264,14 +264,14 @@ fn composite_extension_beats_single_column_colt() {
 
     let plain = Experiment::new(db, &workload)
         .policy(Policy::colt(ColtConfig { storage_budget_pages: 4_096, ..Default::default() }))
-        .run();
+        .run().expect("run failed");
     let extended = Experiment::new(db, &workload)
         .policy(Policy::colt(ColtConfig {
             storage_budget_pages: 4_096,
             composite_budget_pages: 4_096,
             ..Default::default()
         }))
-        .run();
+        .run().expect("run failed");
     assert!(
         extended.total_millis() < plain.total_millis() / 2.0,
         "extension {:.0} vs plain {:.0}",

@@ -33,8 +33,10 @@ fn all_access_paths_agree_on_tpch() {
         if !plan_idx.used_indices().is_empty() {
             index_plans += 1;
         }
-        let (_, mut rows_bare) = Executor::new(db, &bare).execute_collect(&q, &plan_bare);
-        let (_, mut rows_idx) = Executor::new(db, &indexed).execute_collect(&q, &plan_idx);
+        let (_, mut rows_bare) =
+            Executor::new(db, &bare).execute_collect(&q, &plan_bare).expect("plan matches query");
+        let (_, mut rows_idx) =
+            Executor::new(db, &indexed).execute_collect(&q, &plan_idx).expect("plan matches query");
         rows_bare.sort();
         rows_idx.sort();
         assert_eq!(rows_bare, rows_idx, "query {q}");
@@ -58,7 +60,7 @@ fn estimates_track_actual_costs() {
     for _ in 0..40 {
         let q = dist.sample(db, &mut rng);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(db, &cfg).execute(&q, &plan);
+        let res = Executor::new(db, &cfg).execute(&q, &plan).expect("plan matches query");
         est_total += plan.est_cost();
         act_total += db.cost.cost_of(&res.io);
     }
@@ -125,7 +127,7 @@ fn prelude_surface() {
     let mut eqo = Eqo::new(&db);
     let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 0), 5i64)]);
     let plan = eqo.optimize(&q, &cfg);
-    let res = Executor::new(&db, &cfg).execute(&q, &plan);
+    let res = Executor::new(&db, &cfg).execute(&q, &plan).expect("plan matches query");
     assert_eq!(res.row_count, 1);
 }
 
@@ -158,7 +160,7 @@ fn ingestion_while_tuning() {
             let mut eqo = Eqo::new(&db);
             let q = Query::single(t, vec![SelPred::eq(col, (i * 97) % next_id)]);
             let plan = eqo.optimize(&q, &physical);
-            let res = Executor::new(&db, &physical).execute(&q, &plan);
+            let res = Executor::new(&db, &physical).execute(&q, &plan).expect("plan matches query");
             assert_eq!(res.row_count, 1, "exactly one match for a key lookup");
             tuner.on_query(&db, &mut physical, &mut eqo, &q, &plan);
         }
@@ -187,6 +189,6 @@ fn ingestion_while_tuning() {
     let q = Query::single(t, vec![SelPred::eq(col, next_id - 1)]);
     let plan = eqo.optimize(&q, &physical);
     assert_eq!(plan.used_indices(), vec![col]);
-    let res = Executor::new(&db, &physical).execute(&q, &plan);
+    let res = Executor::new(&db, &physical).execute(&q, &plan).expect("plan matches query");
     assert_eq!(res.row_count, 1);
 }

@@ -30,7 +30,7 @@ fn run_colt_at(level: Level) -> colt_repro::harness::RunResult {
             storage_budget_pages: preset.budget_pages,
             ..Default::default()
         }))
-        .run();
+        .run().expect("run failed");
     take(); // drop the outer recorder, leaving the thread clean
     result
 }

@@ -44,9 +44,9 @@ fn parallel_runs_are_serial_identical() {
     let data = generate(SCALE, SEED);
     let preset = presets::stable(&data, SEED);
 
-    let serial = run_cells(&cells(&data, &preset), 1);
+    let serial = run_cells(&cells(&data, &preset), 1).expect("run failed");
     for threads in [2usize, 4] {
-        let parallel = run_cells(&cells(&data, &preset), threads);
+        let parallel = run_cells(&cells(&data, &preset), threads).expect("run failed");
         assert_eq!(serial.cells.len(), parallel.cells.len());
         assert_eq!(parallel.threads, threads.min(serial.cells.len()));
         for (s, p) in serial.cells.iter().zip(&parallel.cells) {
@@ -78,13 +78,13 @@ fn parallel_results_match_direct_experiment_api() {
     let data = generate(SCALE, SEED);
     let preset = presets::stable(&data, SEED);
 
-    let report = run_cells(&cells(&data, &preset), 4);
+    let report = run_cells(&cells(&data, &preset), 4).expect("run failed");
     let direct_colt = Experiment::new(&data.db, &preset.queries)
         .policy(Policy::colt(ColtConfig {
             storage_budget_pages: preset.budget_pages,
             ..Default::default()
         }))
-        .run();
+        .run().expect("run failed");
 
     let colt = report.get("COLT").expect("COLT cell present");
     assert_eq!(colt.samples, direct_colt.samples);
