@@ -69,7 +69,7 @@ fn bench_whatif() {
 
 fn bench_executor() {
     use colt_catalog::IndexOrigin;
-    use colt_engine::Executor;
+    use colt_engine::{Collect, Executor};
     let data = generate(0.01, 42);
     let db = &data.db;
     let inst = &data.instances[0];
@@ -80,7 +80,8 @@ fn bench_executor() {
     let opt = Optimizer::new(db);
     let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
     bench("executor/seq_scan_lineitem", || {
-        black_box(Executor::new(db, &bare).execute(&q, &seq_plan)).expect("plan matches query");
+        black_box(Executor::new(db, &bare).execute(&q, &seq_plan, Collect::CountOnly))
+            .expect("plan matches query");
     });
 
     let mut indexed = PhysicalConfig::new();
@@ -88,7 +89,8 @@ fn bench_executor() {
     let idx_plan = opt.optimize(&q, IndexSetView::real(&indexed));
     assert!(!idx_plan.used_indices().is_empty());
     bench("executor/index_scan_lineitem", || {
-        black_box(Executor::new(db, &indexed).execute(&q, &idx_plan)).expect("plan matches query");
+        black_box(Executor::new(db, &indexed).execute(&q, &idx_plan, Collect::CountOnly))
+            .expect("plan matches query");
     });
 }
 

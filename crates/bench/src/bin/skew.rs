@@ -10,7 +10,7 @@
 use colt_bench::{dump_obs, fmt_ms, seed, threads};
 use colt_catalog::{ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableSchema};
 use colt_core::ColtConfig;
-use colt_engine::{Executor, IndexSetView, Optimizer, Query, SelPred};
+use colt_engine::{Collect, Executor, IndexSetView, Optimizer, Query, SelPred};
 use colt_harness::{emit_parallel_summary, run_cells, Cell, Policy};
 use colt_storage::{row_from, Prng, Value, ValueType};
 use colt_workload::gen::ColumnGen;
@@ -48,11 +48,12 @@ fn main() {
     for probe in [0i64, 2, 50, 400] {
         let q = Query::single(t, vec![SelPred::eq(kind, probe)]);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan).expect("plan matches query");
+        let res =
+            Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).expect("plan matches query");
         let path = if plan.used_indices().is_empty() { "SeqScan " } else { "IndexScan" };
         println!(
             "    kind = {probe:>3}: {path}  ({} rows, {:.1} simulated ms)",
-            res.row_count, res.millis
+            res.row_count(), res.millis()
         );
     }
 

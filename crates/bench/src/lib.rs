@@ -60,9 +60,12 @@ pub fn build_data() -> TpchData {
 /// When `COLT_OBS_PATH` is set, dump a parallel batch's merged metrics
 /// next to it: `<path>.jsonl` (the structured event stream, one JSON
 /// object per line) and `<path>.prom` (the Prometheus-style text dump).
-/// Does nothing otherwise. Dump destinations and contents never touch
-/// stdout.
+/// When `COLT_OBS_FLAME` is set, additionally write the merged span
+/// stacks as folded-stack lines (`outer;inner;leaf <ns>`) to that path,
+/// ready for `flamegraph.pl` / `inferno-flamegraph`. Does nothing
+/// otherwise. Dump destinations and contents never touch stdout.
 pub fn dump_obs(report: &colt_harness::ParallelReport) {
+    dump_flame(report);
     let Ok(path) = std::env::var("COLT_OBS_PATH") else { return };
     if path.is_empty() {
         return;
@@ -87,6 +90,25 @@ pub fn dump_obs(report: &colt_harness::ParallelReport) {
             .field("events", snap.events.len())
             .field("jsonl", jsonl)
             .field("prom", prom),
+    );
+}
+
+/// Write the merged flame accumulator as folded-stack lines when
+/// `COLT_OBS_FLAME=<path>` is set.
+fn dump_flame(report: &colt_harness::ParallelReport) {
+    let Ok(path) = std::env::var("COLT_OBS_FLAME") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let snap = report.obs();
+    if let Err(e) = std::fs::write(&path, snap.folded_flame()) {
+        colt_obs::progress(
+            colt_obs::Event::new("obs_dump_error").field("path", path).field("error", e.to_string()),
+        );
+        return;
+    }
+    colt_obs::progress(
+        colt_obs::Event::new("obs_flame_dump").field("frames", snap.flame.len()).field("path", path),
     );
 }
 

@@ -1,0 +1,52 @@
+//! Black-box check of the folded-stack flame export: running the real
+//! `fig3` binary with `COLT_OBS_FLAME=<path>` must produce a file of
+//! parseable `outer;inner;leaf <ns>` lines that includes the
+//! vectorized executor's `engine.exec.batch` spans nested under the
+//! spans that open them.
+
+use std::process::Command;
+
+#[test]
+fn fig3_writes_parseable_folded_stacks() {
+    let path = std::env::temp_dir().join(format!("colt-flame-test-{}.folded", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .env("COLT_SCALE", "0.004")
+        .env("COLT_SEED", "42")
+        .env("COLT_THREADS", "2")
+        .env("COLT_OBS", "summary")
+        .env("COLT_OBS_FLAME", path_str)
+        .env_remove("COLT_OBS_PATH")
+        .output()
+        .expect("spawn fig3");
+    assert!(out.status.success(), "fig3 failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let folded = std::fs::read_to_string(&path).expect("fig3 must write the flame dump");
+    let _ = std::fs::remove_file(&path);
+
+    let mut frames = 0usize;
+    let mut batch_frames = 0usize;
+    for (i, line) in folded.lines().enumerate() {
+        let (stack, ns) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("flame line {} is not `stack <ns>`: {line}", i + 1));
+        let ns: u64 = ns.parse().unwrap_or_else(|e| panic!("flame line {}: {e}: {line}", i + 1));
+        assert!(ns > 0, "flame line {} carries zero self time: {line}", i + 1);
+        for frame in stack.split(';') {
+            assert!(!frame.is_empty(), "flame line {} has an empty frame: {line}", i + 1);
+        }
+        if stack.split(';').any(|f| f == "engine.exec.batch") {
+            // The executor's batch spans open inside `engine.execute`,
+            // so they must appear as nested (never root) frames.
+            assert_ne!(
+                stack, "engine.exec.batch",
+                "engine.exec.batch must be nested under its caller"
+            );
+            batch_frames += 1;
+        }
+        frames += 1;
+    }
+    assert!(frames > 0, "the flame dump must not be empty");
+    assert!(batch_frames > 0, "no engine.exec.batch frames in the flame dump:\n{folded}");
+}

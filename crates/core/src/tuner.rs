@@ -41,7 +41,7 @@ pub struct TunerStep {
 /// ```
 /// use colt_catalog::{ColRef, Column, Database, PhysicalConfig, TableSchema};
 /// use colt_core::{ColtConfig, ColtTuner};
-/// use colt_engine::{Eqo, Executor, Query, SelPred};
+/// use colt_engine::{Collect, Eqo, Executor, Query, SelPred};
 /// use colt_storage::{row_from, Value, ValueType};
 ///
 /// let mut db = Database::new();
@@ -59,7 +59,7 @@ pub struct TunerStep {
 /// for i in 0..60i64 {
 ///     let q = Query::single(t, vec![SelPred::eq(col, i * 83 % 5_000)]);
 ///     let plan = eqo.optimize(&q, &physical);
-///     let _ = Executor::new(&db, &physical).execute(&q, &plan);
+///     let _ = Executor::new(&db, &physical).execute(&q, &plan, Collect::CountOnly);
 ///     tuner.on_query(&db, &mut physical, &mut eqo, &q, &plan);
 /// }
 /// // The repeated selective lookups earned the column an index.
@@ -261,7 +261,7 @@ impl ColtTuner {
 mod tests {
     use super::*;
     use colt_catalog::{Column, TableId, TableSchema};
-    use colt_engine::{Executor, SelPred};
+    use colt_engine::{Collect, Executor, SelPred};
     use colt_storage::{row_from, Value, ValueType};
 
     fn setup() -> (Database, TableId) {
@@ -289,7 +289,7 @@ mod tests {
         let mut eqo = Eqo::new(db);
         for _ in 0..n {
             let plan = eqo.optimize(q, &physical);
-            let _res = Executor::new(db, &physical).execute(q, &plan);
+            let _res = Executor::new(db, &physical).execute(q, &plan, Collect::CountOnly);
             tuner.on_query(db, &mut physical, &mut eqo, q, &plan);
         }
         (tuner, physical)

@@ -7,12 +7,17 @@
 //! with an optional `GROUP BY` list. Aggregation never changes which
 //! indices help a query (it consumes the join result), so it composes
 //! with the tuner without touching it.
+//!
+//! The operator consumes the plan's [`crate::batch::ColumnBatch`]es
+//! directly — group keys and aggregate inputs are read column-at-a-time
+//! from each batch, without materializing row-major tuples first.
 
+use crate::batch::TableLayout;
 use crate::executor::{ExecError, Executor, QueryResult};
 use crate::plan::Plan;
 use crate::query::Query;
-use colt_catalog::{ColRef, TableId};
-use colt_storage::Value;
+use colt_catalog::ColRef;
+use colt_storage::{IoStats, Value};
 use std::collections::BTreeMap;
 
 /// An aggregate function.
@@ -60,9 +65,10 @@ pub struct AggSpec {
     pub exprs: Vec<AggExpr>,
 }
 
-/// Streaming accumulator for one aggregate in one group.
+/// Streaming accumulator for one aggregate in one group. Shared with the
+/// row-at-a-time reference executor so both paths fold identically.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(u64),
     Sum(f64),
     Avg { sum: f64, n: u64 },
@@ -71,7 +77,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Sum => Acc::Sum(0.0),
@@ -81,7 +87,7 @@ impl Acc {
         }
     }
 
-    fn feed(&mut self, v: Option<&Value>) {
+    pub(crate) fn feed(&mut self, v: Option<&Value>) {
         match self {
             Acc::Count(n) => *n += 1,
             // colt: allow(panic-policy) — AggExpr::over pairs every non-COUNT function with a column
@@ -108,7 +114,7 @@ impl Acc {
         }
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n as i64),
             Acc::Sum(s) => Value::Float(s),
@@ -118,25 +124,20 @@ impl Acc {
     }
 }
 
-/// Map column references to positions inside a row laid out as the
-/// concatenation of the given tables' columns.
-fn offsets(
+/// Resolve a column reference against the plan's output layout,
+/// rejecting references the layout cannot satisfy instead of letting
+/// them index out of bounds deep inside the fold loop.
+fn resolve(
     db: &colt_catalog::Database,
-    layout: &[TableId],
-    cols: impl Iterator<Item = ColRef>,
-) -> Vec<usize> {
-    cols.map(|c| {
-        let mut off = 0;
-        for &t in layout {
-            if t == c.table {
-                return off + c.column as usize;
-            }
-            off += db.table(t).schema.arity();
-        }
-        // colt: allow(panic-policy) — AggSpec columns come from the query the layout was built for
-        panic!("aggregate column {c} not in result layout");
-    })
-    .collect()
+    layout: &TableLayout,
+    c: ColRef,
+) -> Result<usize, ExecError> {
+    let pos =
+        layout.col_of(c).ok_or(ExecError::UnknownColRef { operator: "aggregate", col: c })?;
+    if c.column as usize >= db.table(c.table).schema.arity() {
+        return Err(ExecError::UnknownColRef { operator: "aggregate", col: c });
+    }
+    Ok(pos)
 }
 
 impl<'a> Executor<'a> {
@@ -150,31 +151,39 @@ impl<'a> Executor<'a> {
         plan: &Plan,
         spec: &AggSpec,
     ) -> Result<(QueryResult, Vec<Vec<Value>>), ExecError> {
-        let (mut result, rows, layout) = self.execute_collect_with_layout(query, plan)?;
+        let mut io = IoStats::new();
+        let input = self.run(query, &plan.root, &mut io, true)?;
         let db = self.database();
-        let group_pos = offsets(db, &layout, spec.group_by.iter().copied());
+        let group_pos: Vec<usize> = spec
+            .group_by
+            .iter()
+            .map(|&c| resolve(db, &input.layout, c))
+            .collect::<Result<_, ExecError>>()?;
         let agg_pos: Vec<Option<usize>> = spec
             .exprs
             .iter()
-            .map(|e| e.col.map(|c| offsets(db, &layout, std::iter::once(c))[0]))
-            .collect();
+            .map(|e| e.col.map(|c| resolve(db, &input.layout, c)).transpose())
+            .collect::<Result<_, ExecError>>()?;
 
         // BTreeMap keyed by the group-by values: accumulation order is the
         // input row order either way, but emission order falls out sorted
         // and independent of any hash seed.
+        let _batch_span = colt_obs::span("engine.exec.batch");
         let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
         if spec.group_by.is_empty() {
             groups.insert(Vec::new(), spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
         }
-        for row in &rows {
-            let key: Vec<Value> = group_pos.iter().map(|&p| row[p].clone()).collect();
-            let accs = groups
-                .entry(key)
-                .or_insert_with(|| spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
-            for (acc, pos) in accs.iter_mut().zip(&agg_pos) {
-                acc.feed(pos.map(|p| &row[p]));
+        for b in &input.batches {
+            for r in b.live() {
+                let key: Vec<Value> = group_pos.iter().map(|&p| b.val(p, r).clone()).collect();
+                let accs = groups
+                    .entry(key)
+                    .or_insert_with(|| spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+                for (acc, pos) in accs.iter_mut().zip(&agg_pos) {
+                    acc.feed(pos.map(|p| b.val(p, r)));
+                }
+                io.cpu_ops += spec.exprs.len() as u64 + 1;
             }
-            result.io.cpu_ops += spec.exprs.len() as u64 + 1;
         }
 
         // Group keys are unique, so emitting in BTreeMap key order is the
@@ -186,9 +195,14 @@ impl<'a> Executor<'a> {
                 key
             })
             .collect();
-        result.row_count = out.len() as u64;
-        result.millis = db.cost.millis_of(&result.io);
-        Ok((result, out))
+        Ok((
+            QueryResult {
+                row_count: out.len() as u64,
+                millis: db.cost.millis_of(&io),
+                io,
+            },
+            out,
+        ))
     }
 }
 
@@ -197,7 +211,7 @@ mod tests {
     use super::*;
     use crate::optimizer::{IndexSetView, Optimizer};
     use crate::query::SelPred;
-    use colt_catalog::{Column, Database, PhysicalConfig, TableSchema};
+    use colt_catalog::{Column, Database, PhysicalConfig, TableId, TableSchema};
     use colt_storage::{row_from, ValueType};
 
     fn setup() -> (Database, TableId) {
@@ -296,5 +310,25 @@ mod tests {
         assert_eq!(a, b);
         let keys: Vec<&Value> = a.iter().map(|r| &r[0]).collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unknown_aggregate_column_is_typed_error() {
+        // A spec referencing a table absent from the plan output (or a
+        // column past the table's arity) used to panic inside offset
+        // resolution; both now surface as ExecError::UnknownColRef.
+        let (db, t) = setup();
+        let q = Query::single(t, vec![]);
+        let cfg = PhysicalConfig::new();
+        let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
+        let stray = ColRef::new(TableId(99), 0);
+        let spec = AggSpec { group_by: vec![stray], exprs: vec![AggExpr::count_star()] };
+        let err = Executor::new(&db, &cfg).execute_aggregate(&q, &plan, &spec).unwrap_err();
+        assert_eq!(err, ExecError::UnknownColRef { operator: "aggregate", col: stray });
+        let wide = ColRef::new(t, 7);
+        let spec =
+            AggSpec { group_by: vec![], exprs: vec![AggExpr::over(AggFunc::Sum, wide)] };
+        let err = Executor::new(&db, &cfg).execute_aggregate(&q, &plan, &spec).unwrap_err();
+        assert_eq!(err, ExecError::UnknownColRef { operator: "aggregate", col: wide });
     }
 }

@@ -1,27 +1,37 @@
-//! Physical plan execution with deterministic I/O accounting.
+//! Vectorized physical plan execution with deterministic I/O accounting.
 //!
-//! The executor runs plans against the *real* data: sequential scans
-//! iterate heap pages, index scans probe the actual B+ trees and fetch
-//! rows in sorted rowid order (bitmap-style, deduplicating page reads),
-//! and hash joins build and probe real hash tables. Every operator
-//! charges [`IoStats`]; [`QueryResult::millis`] converts the total into
-//! the simulated wall-clock time that all experiments report.
+//! The executor runs plans against the *real* data a batch at a time:
+//! sequential scans iterate heap pages in [`BATCH_ROWS`]-row chunks,
+//! index scans probe the actual B+ trees and fetch rows in sorted rowid
+//! order (bitmap-style, deduplicating page reads), and hash joins build
+//! once and probe a key column at a time. Operators exchange
+//! [`ColumnBatch`]es (per-column value vectors plus a selection vector;
+//! see [`crate::batch`]) instead of row-major `Vec<Value>` rows, and
+//! predicates are evaluated over whole column chunks into a selection
+//! vector before any value is copied.
+//!
+//! None of this changes what is *charged*: every operator charges
+//! [`IoStats`] per page and per tuple processed, which is invariant to
+//! batch grouping, so [`QueryResult::millis`] — the simulated
+//! wall-clock time every experiment reports — is byte-identical to the
+//! row-at-a-time reference implementation in [`crate::rowwise`].
 
+use crate::batch::{ColumnBatch, TableLayout, BATCH_ROWS};
 use crate::plan::{AccessPath, Plan, PlanNode};
 use crate::query::{PredicateKind, Query, SelPred};
-use colt_catalog::{Database, PhysicalConfig, TableId};
-use colt_storage::{IoStats, RowId, Value};
+use colt_catalog::{ColRef, Database, PhysicalConfig, TableId};
+use colt_storage::{IoStats, Row, RowId, Value};
 use std::collections::HashMap;
 use std::ops::Bound;
 
 /// A plan/input mismatch detected during execution.
 ///
 /// The executor trusts the optimizer for *physical* facts it can check
-/// cheaply elsewhere (materialized indexes, sargable predicates), but a
-/// join key referencing a table the plan never joined is a structural
-/// contradiction a caller can construct by hand — hand-built plans are
-/// part of the public API — so it surfaces as a typed error instead of
-/// a panic.
+/// cheaply elsewhere (materialized indexes, sargable predicates), but
+/// hand-built plans are part of the public API, so every structural
+/// contradiction a caller can construct by hand surfaces as a typed
+/// error instead of a panic: join keys referencing absent tables,
+/// column references beyond a table's arity, and ragged column batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecError {
     /// A join predicate references a table absent from the operator's
@@ -31,6 +41,24 @@ pub enum ExecError {
         operator: &'static str,
         /// The table the join key references.
         table: TableId,
+    },
+    /// A column batch was assembled from columns of unequal length —
+    /// the batch boundary check for ragged operator output.
+    ColumnArityMismatch {
+        /// Operator that detected the mismatch.
+        operator: &'static str,
+        /// Rows in the batch's first column.
+        expected: usize,
+        /// Rows in the offending column.
+        got: usize,
+    },
+    /// A predicate, join key, or aggregate references a column beyond
+    /// its table's arity (or a table absent from the output layout).
+    UnknownColRef {
+        /// Operator that detected the mismatch.
+        operator: &'static str,
+        /// The out-of-range column reference.
+        col: ColRef,
     },
 }
 
@@ -42,6 +70,13 @@ impl std::fmt::Display for ExecError {
                 "{operator}: join key references table t{} absent from the input batch",
                 table.0
             ),
+            ExecError::ColumnArityMismatch { operator, expected, got } => write!(
+                f,
+                "{operator}: ragged column batch ({got} rows in a column, expected {expected})"
+            ),
+            ExecError::UnknownColRef { operator, col } => {
+                write!(f, "{operator}: column {col} is not part of the operator's input")
+            }
         }
     }
 }
@@ -51,9 +86,8 @@ impl std::error::Error for ExecError {}
 /// Result of executing one query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
-    /// Number of result rows (the rows themselves are not retained for
-    /// multi-table queries to keep memory bounded; see
-    /// [`Executor::execute_collect`]).
+    /// Number of result rows (the rows themselves are only retained
+    /// under [`Collect::Rows`]; see [`ExecOutput::rows`]).
     pub row_count: u64,
     /// Physical work performed.
     pub io: IoStats,
@@ -61,17 +95,67 @@ pub struct QueryResult {
     pub millis: f64,
 }
 
-/// What [`Executor::execute_collect_with_layout`] returns: the cost
-/// summary, the collected rows, and the output column layout.
-pub type CollectedWithLayout = (QueryResult, Vec<Vec<Value>>, Vec<TableId>);
+/// What [`Executor::execute`] should retain of the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Collect {
+    /// Count rows and charge I/O, but do not keep result values. Scans
+    /// and joins at the plan root skip materialization entirely — the
+    /// charges are identical either way.
+    #[default]
+    CountOnly,
+    /// Also retain the result rows (column-concatenated per
+    /// [`ExecOutput::layout`]).
+    Rows,
+}
 
-/// Rows flowing between operators: the source table of each column slice
-/// is tracked so join keys can be located.
-struct Batch {
-    /// Participating tables, in column-slice order.
-    tables: Vec<TableId>,
-    /// Concatenated rows.
-    rows: Vec<Vec<Value>>,
+/// Everything [`Executor::execute`] produces, under one roof.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// Counts and charges.
+    pub result: QueryResult,
+    /// The result rows — empty under [`Collect::CountOnly`].
+    pub rows: Vec<Vec<Value>>,
+    /// The output column layout: result rows are the concatenation of
+    /// these tables' columns, in order. Consumers that address columns
+    /// by [`ColRef`] need this because join operators order their
+    /// inputs by cost, not by the query's table list.
+    pub layout: Vec<TableId>,
+}
+
+impl ExecOutput {
+    /// Number of result rows.
+    pub fn row_count(&self) -> u64 {
+        self.result.row_count
+    }
+
+    /// Simulated execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.result.millis
+    }
+
+    /// Physical work performed.
+    pub fn io(&self) -> &IoStats {
+        &self.result.io
+    }
+}
+
+/// One operator's output: the layout header, the live row count, and —
+/// only when the consumer needs values — the column batches.
+pub(crate) struct OpOutput {
+    pub(crate) layout: TableLayout,
+    pub(crate) batches: Vec<ColumnBatch>,
+    pub(crate) count: u64,
+}
+
+impl OpOutput {
+    /// Concatenate the batches into one dense batch (live rows only).
+    fn flatten(self) -> (TableLayout, ColumnBatch) {
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); self.layout.width()];
+        for b in self.batches {
+            b.drain_into(&mut cols);
+        }
+        (self.layout, ColumnBatch::dense(cols))
+    }
 }
 
 /// The executor.
@@ -87,49 +171,32 @@ impl<'a> Executor<'a> {
         Executor { db, config }
     }
 
-    /// Execute a plan, returning counts and charges only.
-    pub fn execute(&self, query: &Query, plan: &Plan) -> Result<QueryResult, ExecError> {
+    /// Execute a plan. `collect` chooses whether result values are
+    /// retained ([`Collect::Rows`]) or only counted and charged
+    /// ([`Collect::CountOnly`]); the I/O charges are identical.
+    pub fn execute(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        collect: Collect,
+    ) -> Result<ExecOutput, ExecError> {
         let span = colt_obs::span("engine.execute");
         let mut io = IoStats::new();
-        let batch = self.run(query, &plan.root, &mut io)?;
+        let need = collect == Collect::Rows;
+        let out = self.run(query, &plan.root, &mut io, need)?;
         let millis = self.db.cost.millis_of(&io);
         span.sim_ms(millis);
-        Ok(QueryResult { row_count: batch.rows.len() as u64, millis, io })
-    }
-
-    /// Execute a plan and also return the result rows (column-concatenated
-    /// in the plan's table order). Intended for examples and tests.
-    pub fn execute_collect(
-        &self,
-        query: &Query,
-        plan: &Plan,
-    ) -> Result<(QueryResult, Vec<Vec<Value>>), ExecError> {
-        let (res, rows, _) = self.execute_collect_with_layout(query, plan)?;
-        Ok((res, rows))
-    }
-
-    /// Like [`Executor::execute_collect`], additionally returning the
-    /// column layout: the result rows are the concatenation of these
-    /// tables' columns, in order. Consumers that address columns by
-    /// [`colt_catalog::ColRef`] (e.g. aggregation) need the layout
-    /// because join operators order their inputs by cost, not by the
-    /// query's table list.
-    pub fn execute_collect_with_layout(
-        &self,
-        query: &Query,
-        plan: &Plan,
-    ) -> Result<CollectedWithLayout, ExecError> {
-        let mut io = IoStats::new();
-        let batch = self.run(query, &plan.root, &mut io)?;
-        Ok((
-            QueryResult {
-                row_count: batch.rows.len() as u64,
-                millis: self.db.cost.millis_of(&io),
-                io,
-            },
-            batch.rows,
-            batch.tables,
-        ))
+        let mut rows = Vec::new();
+        if need {
+            for b in out.batches {
+                b.into_rows(&mut rows);
+            }
+        }
+        Ok(ExecOutput {
+            result: QueryResult { row_count: out.count, millis, io },
+            rows,
+            layout: out.layout.tables().to_vec(),
+        })
     }
 
     /// The database this executor runs against.
@@ -141,15 +208,16 @@ impl<'a> Executor<'a> {
     /// annotated with *estimated vs actual* rows and the per-node
     /// physical work. The estimation error visible here is exactly the
     /// noise COLT's confidence intervals exist to tolerate.
-    pub fn explain_analyze(&self, query: &Query, plan: &Plan) -> Result<(QueryResult, String), ExecError> {
+    pub fn explain_analyze(
+        &self,
+        query: &Query,
+        plan: &Plan,
+    ) -> Result<(QueryResult, String), ExecError> {
         let mut io = IoStats::new();
         let mut out = String::new();
-        let batch = self.analyze_node(query, &plan.root, &mut io, 0, &mut out)?;
-        let result = QueryResult {
-            row_count: batch.rows.len() as u64,
-            millis: self.db.cost.millis_of(&io),
-            io,
-        };
+        let root = self.analyze_node(query, &plan.root, &mut io, 0, &mut out)?;
+        let result =
+            QueryResult { row_count: root.count, millis: self.db.cost.millis_of(&io), io };
         out.push_str(&format!(
             "total: {} rows, {:.2} simulated ms ({} seq + {} random pages, {} tuples)\n",
             result.row_count,
@@ -170,37 +238,37 @@ impl<'a> Executor<'a> {
         io: &mut IoStats,
         depth: usize,
         out: &mut String,
-    ) -> Result<Batch, ExecError> {
+    ) -> Result<OpOutput, ExecError> {
         let pad = "  ".repeat(depth);
         let mut child_text = String::new();
-        let (batch, own_io) = match node {
+        let (result, own_io) = match node {
             PlanNode::Scan { table, path, .. } => {
                 let before = *io;
-                let b = self.run_scan(query, *table, path, io);
+                let b = self.run_scan(query, *table, path, io, true)?;
                 (b, *io - before)
             }
             PlanNode::HashJoin { build, probe, on, .. } => {
                 let b = self.analyze_node(query, build, io, depth + 1, &mut child_text)?;
                 let p = self.analyze_node(query, probe, io, depth + 1, &mut child_text)?;
                 let before = *io;
-                let joined = self.hash_join(b, p, on, io)?;
+                let joined = self.hash_join(b, p, on, io, true)?;
                 (joined, *io - before)
             }
             PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
                 let o = self.analyze_node(query, outer, io, depth + 1, &mut child_text)?;
                 let before = *io;
                 let joined =
-                    self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io)?;
+                    self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io, true)?;
                 (joined, *io - before)
             }
         };
         let label = match node {
             PlanNode::Scan { table, path, .. } => match path {
-                crate::plan::AccessPath::SeqScan => format!("SeqScan t{}", table.0),
-                crate::plan::AccessPath::IndexScan { col } => {
+                AccessPath::SeqScan => format!("SeqScan t{}", table.0),
+                AccessPath::IndexScan { col } => {
                     format!("IndexScan[{col}] t{}", table.0)
                 }
-                crate::plan::AccessPath::CompositeScan { key, .. } => {
+                AccessPath::CompositeScan { key, .. } => {
                     format!("CompositeScan[{key}] t{}", table.0)
                 }
             },
@@ -212,104 +280,48 @@ impl<'a> Executor<'a> {
         out.push_str(&format!(
             "{pad}{label} (est rows={:.1}, actual rows={}; pages seq={} rnd={})\n",
             node.est_rows(),
-            batch.rows.len(),
+            result.count,
             own_io.seq_pages,
             own_io.random_pages,
         ));
         out.push_str(&child_text);
-        Ok(batch)
+        Ok(result)
     }
 
-    fn run(&self, query: &Query, node: &PlanNode, io: &mut IoStats) -> Result<Batch, ExecError> {
+    /// Execute a subtree. `need` says whether the consumer requires the
+    /// output *values*; when false (a [`Collect::CountOnly`] plan root)
+    /// operators skip materialization while charging identically.
+    pub(crate) fn run(
+        &self,
+        query: &Query,
+        node: &PlanNode,
+        io: &mut IoStats,
+        need: bool,
+    ) -> Result<OpOutput, ExecError> {
         match node {
-            PlanNode::Scan { table, path, .. } => Ok(self.run_scan(query, *table, path, io)),
+            PlanNode::Scan { table, path, .. } => self.run_scan(query, *table, path, io, need),
             PlanNode::HashJoin { build, probe, on, .. } => {
                 colt_obs::counter("engine.op.hash_join", 1);
-                let b = self.run(query, build, io)?;
-                let p = self.run(query, probe, io)?;
-                self.hash_join(b, p, on, io)
+                let b = self.run(query, build, io, true)?;
+                let p = self.run(query, probe, io, true)?;
+                self.hash_join(b, p, on, io, need)
             }
             PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
                 colt_obs::counter("engine.op.index_nl_join", 1);
-                let o = self.run(query, outer, io)?;
-                self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io)
+                let o = self.run(query, outer, io, true)?;
+                self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io, need)
             }
         }
     }
 
-    /// Index nested-loop join: probe the inner table's B+ tree once per
-    /// outer row, fetch matches, and apply the inner table's selection
-    /// predicates plus any residual join predicates.
-    #[allow(clippy::too_many_arguments)]
-    fn index_nl_join(
+    fn run_scan(
         &self,
         query: &Query,
-        outer: Batch,
-        inner: TableId,
-        index_col: colt_catalog::ColRef,
-        probe_on: crate::query::JoinPred,
-        residual_on: &[crate::query::JoinPred],
+        table: TableId,
+        path: &AccessPath,
         io: &mut IoStats,
-    ) -> Result<Batch, ExecError> {
-        let inner_table = self.db.table(inner);
-        let index = self
-            .config
-            .get(index_col)
-            // colt: allow(panic-policy) — the optimizer only emits probe nodes for materialized indexes
-            .unwrap_or_else(|| panic!("plan probes unmaterialized index {index_col}"));
-        let inner_preds: Vec<&SelPred> = query.selections_on(inner).collect();
-
-        // Locate the outer side of the probe predicate in the batch.
-        let outer_side =
-            if probe_on.left.table == inner { probe_on.right } else { probe_on.left };
-        let col_offset = |batch: &Batch, table: TableId| -> Result<usize, ExecError> {
-            let mut off = 0;
-            for &t in &batch.tables {
-                if t == table {
-                    return Ok(off);
-                }
-                off += self.db.table(t).schema.arity();
-            }
-            Err(ExecError::JoinKeyTableMissing { operator: "index_nl_join", table })
-        };
-        let probe_pos = col_offset(&outer, outer_side.table)? + outer_side.column as usize;
-
-        // Residual join predicates: (outer position, inner column).
-        let residuals: Vec<(usize, usize)> = residual_on
-            .iter()
-            .map(|j| {
-                let (o, i) = if j.left.table == inner { (j.right, j.left) } else { (j.left, j.right) };
-                Ok((col_offset(&outer, o.table)? + o.column as usize, i.column as usize))
-            })
-            .collect::<Result<_, ExecError>>()?;
-
-        let inner_arity = inner_table.schema.arity();
-        let mut out = Vec::new();
-        for orow in &outer.rows {
-            let key = &orow[probe_pos];
-            let mut rowids = index.tree.lookup(key, io);
-            let fetched = inner_table.heap.fetch_sorted(&mut rowids, io);
-            for irow in fetched {
-                io.cpu_ops += (inner_preds.len() + residuals.len()) as u64;
-                let sel_ok =
-                    inner_preds.iter().all(|p| p.matches(&irow[p.col.column as usize]));
-                let res_ok = residuals.iter().all(|&(op, ic)| orow[op] == irow[ic]);
-                if sel_ok && res_ok {
-                    let mut row = orow.clone();
-                    row.extend(irow.iter().cloned());
-                    out.push(row);
-                }
-            }
-        }
-        io.tuples += out.len() as u64;
-        debug_assert!(inner_arity > 0);
-
-        let mut tables = outer.tables;
-        tables.push(inner);
-        Ok(Batch { tables, rows: out })
-    }
-
-    fn run_scan(&self, query: &Query, table: TableId, path: &AccessPath, io: &mut IoStats) -> Batch {
+        need: bool,
+    ) -> Result<OpOutput, ExecError> {
         colt_obs::counter(
             match path {
                 AccessPath::SeqScan => "engine.op.seq_scan",
@@ -319,193 +331,474 @@ impl<'a> Executor<'a> {
             1,
         );
         let t = self.db.table(table);
+        let layout = TableLayout::single(self.db, table);
         let preds: Vec<&SelPred> = query.selections_on(table).collect();
-        let rows: Vec<Vec<Value>> = match path {
-            AccessPath::SeqScan => t
-                .heap
-                .scan(io)
-                .filter(|(_, row)| {
-                    io.cpu_ops += preds.len() as u64;
-                    preds.iter().all(|p| p.matches(&row[p.col.column as usize]))
-                })
-                .map(|(_, row)| row.to_vec())
-                .collect(),
+        check_pred_cols("scan", &preds, layout.width())?;
+
+        let _batch_span = colt_obs::span("engine.exec.batch");
+        let mut batches = Vec::new();
+        let mut count = 0u64;
+        let mut sel: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+        // One closure per chunk shape: evaluate the predicates over the
+        // chunk into the selection vector, then gather only survivors.
+        match path {
+            AccessPath::SeqScan => {
+                for (_first, chunk) in t.heap.scan_batches(BATCH_ROWS, io) {
+                    io.cpu_ops += (preds.len() * chunk.len()) as u64;
+                    select_rows(chunk, &preds, None, &mut sel);
+                    count += sel.len() as u64;
+                    if need && !sel.is_empty() {
+                        batches.push(gather_rows(chunk, &sel, layout.width()));
+                    }
+                }
+            }
             AccessPath::CompositeScan { key, eq_prefix, range_next } => {
-                let index = self
-                    .config
-                    .get_composite(key)
-                    // colt: allow(panic-policy) — the optimizer only emits composite scans for materialized composites
-                    .unwrap_or_else(|| panic!("plan uses unmaterialized composite {key}"));
-                // Equality values pinning the prefix.
-                let prefix: Vec<Value> = key.columns[..*eq_prefix as usize]
-                    .iter()
-                    .map(|&c| {
-                        let pred = preds
-                            .iter()
-                            .find(|p| {
-                                p.col.column == c
-                                    && matches!(p.kind, PredicateKind::Eq(_))
-                            })
-                            // colt: allow(panic-policy) — eq_prefix was chosen from these very predicates
-                            .unwrap_or_else(|| panic!("missing eq predicate for composite prefix"));
-                        match &pred.kind {
-                            PredicateKind::Eq(v) => v.clone(),
-                            // colt: allow(panic-policy) — the find above matched PredicateKind::Eq only
-                            _ => unreachable!(),
-                        }
-                    })
-                    .collect();
-                // Optional range on the next column.
-                let next = if *range_next {
-                    let c = key.columns[*eq_prefix as usize];
-                    let pred = preds
-                        .iter()
-                        .find(|p| {
-                            p.col.column == c && matches!(p.kind, PredicateKind::Range { .. })
-                        })
-                        // colt: allow(panic-policy) — range_next is set only when such a predicate exists
-                        .unwrap_or_else(|| panic!("missing range predicate for composite scan"));
-                    // colt: allow(panic-policy) — the find above matched PredicateKind::Range only
-                    let PredicateKind::Range { lo, hi } = &pred.kind else { unreachable!() };
-                    let map = |b: &Option<crate::query::RangeBound>| match b {
-                        Some(rb) if rb.inclusive => Bound::Included(rb.value.clone()),
-                        Some(rb) => Bound::Excluded(rb.value.clone()),
-                        None => Bound::Unbounded,
-                    };
-                    Some((map(lo), map(hi)))
-                } else {
-                    None
-                };
-                let mut rowids = colt_catalog::prefix_scan(index, &prefix, next, io);
+                let mut rowids =
+                    composite_scan_rowids(self.config, &preds, key, *eq_prefix, *range_next, io);
                 let fetched = t.heap.fetch_sorted(&mut rowids, io);
-                fetched
-                    .into_iter()
-                    .filter(|row| {
-                        io.cpu_ops += preds.len() as u64;
-                        preds.iter().all(|p| p.matches(&row[p.col.column as usize]))
-                    })
-                    .map(|row| row.to_vec())
-                    .collect()
+                for chunk in fetched.chunks(BATCH_ROWS) {
+                    io.cpu_ops += (preds.len() * chunk.len()) as u64;
+                    select_rows(chunk, &preds, None, &mut sel);
+                    count += sel.len() as u64;
+                    if need && !sel.is_empty() {
+                        batches.push(gather_rows(chunk, &sel, layout.width()));
+                    }
+                }
             }
             AccessPath::IndexScan { col } => {
-                let index = self
-                    .config
-                    .get(*col)
-                    // colt: allow(panic-policy) — the optimizer only emits index scans for materialized indexes
-                    .unwrap_or_else(|| panic!("plan uses unmaterialized index {col}"));
-                let driver_idx = preds
-                    .iter()
-                    .position(|p| p.col == *col)
-                    // colt: allow(panic-policy) — index scans are only planned on sargable columns
-                    .unwrap_or_else(|| panic!("index scan without sargable predicate on {col}"));
-                let mut rowids: Vec<RowId> = match &preds[driver_idx].kind {
-                    PredicateKind::Eq(v) => index.tree.lookup(v, io),
-                    PredicateKind::In(vs) => {
-                        // One descent per list element; the sorted fetch
-                        // afterwards deduplicates heap pages.
-                        vs.iter().flat_map(|v| index.tree.lookup(v, io)).collect()
-                    }
-                    PredicateKind::Range { lo, hi } => {
-                        let map = |b: &Option<crate::query::RangeBound>| match b {
-                            Some(rb) if rb.inclusive => Bound::Included(rb.value.clone()),
-                            Some(rb) => Bound::Excluded(rb.value.clone()),
-                            None => Bound::Unbounded,
-                        };
-                        index.tree.range(map(lo), map(hi), io)
-                    }
-                };
+                let (mut rowids, driver_idx) = index_scan_rowids(self.config, &preds, *col, io);
                 let fetched = t.heap.fetch_sorted(&mut rowids, io);
-                fetched
-                    .into_iter()
-                    .filter(|row| {
-                        io.cpu_ops += preds.len() as u64 - 1;
-                        // Residual = everything except the one predicate
-                        // that drove the scan — a second predicate on the
-                        // same column must still be checked.
-                        preds
-                            .iter()
-                            .enumerate()
-                            .filter(|(i, _)| *i != driver_idx)
-                            .all(|(_, p)| p.matches(&row[p.col.column as usize]))
-                    })
-                    .map(|row| row.to_vec())
-                    .collect()
+                for chunk in fetched.chunks(BATCH_ROWS) {
+                    // Residual = everything except the one predicate
+                    // that drove the scan — a second predicate on the
+                    // same column must still be checked.
+                    io.cpu_ops += ((preds.len() - 1) * chunk.len()) as u64;
+                    select_rows(chunk, &preds, Some(driver_idx), &mut sel);
+                    count += sel.len() as u64;
+                    if need && !sel.is_empty() {
+                        batches.push(gather_rows(chunk, &sel, layout.width()));
+                    }
+                }
             }
-        };
-        Batch { tables: vec![table], rows }
+        }
+        Ok(OpOutput { layout, batches, count })
     }
 
     fn hash_join(
         &self,
-        build: Batch,
-        probe: Batch,
+        build: OpOutput,
+        probe: OpOutput,
         on: &[crate::query::JoinPred],
         io: &mut IoStats,
-    ) -> Result<Batch, ExecError> {
-        // Locate each join key within the concatenated batches.
-        let col_offset = |batch: &Batch, table: TableId| -> Result<usize, ExecError> {
-            let mut off = 0;
-            for &t in &batch.tables {
-                if t == table {
-                    return Ok(off);
-                }
-                off += self.db.table(t).schema.arity();
-            }
-            Err(ExecError::JoinKeyTableMissing { operator: "hash_join", table })
-        };
-        let key_positions = |batch: &Batch| -> Result<Vec<usize>, ExecError> {
+        need: bool,
+    ) -> Result<OpOutput, ExecError> {
+        // Locate each join key within the concatenated layouts.
+        let key_positions = |layout: &TableLayout| -> Result<Vec<usize>, ExecError> {
             on.iter()
                 .map(|j| {
-                    let side = if batch.tables.contains(&j.left.table) { j.left } else { j.right };
-                    Ok(col_offset(batch, side.table)? + side.column as usize)
+                    let side =
+                        if layout.start_of(j.left.table).is_some() { j.left } else { j.right };
+                    let pos = layout.col_of(side).ok_or(ExecError::JoinKeyTableMissing {
+                        operator: "hash_join",
+                        table: side.table,
+                    })?;
+                    if side.column as usize >= self.db.table(side.table).schema.arity() {
+                        return Err(ExecError::UnknownColRef { operator: "hash_join", col: side });
+                    }
+                    Ok(pos)
                 })
                 .collect()
         };
+        let build_keys = key_positions(&build.layout)?;
+        let probe_keys = key_positions(&probe.layout)?;
 
-        let build_keys = key_positions(&build)?;
-        let probe_keys = key_positions(&probe)?;
+        let _batch_span = colt_obs::span("engine.exec.batch");
+        // The build side is consumed as a whole (that is what "build"
+        // means), so flatten it into one dense batch up front; the
+        // probe side streams through batch by batch.
+        let (build_layout, build_flat) = build.flatten();
+        let build_rows = build_flat.physical_rows();
+        let build_width = build_layout.width();
+        let layout = TableLayout::join(&build_layout, &probe.layout);
+        let mut acc = OutAcc::new(layout.width(), need);
 
-        // Build phase. Deliberately a HashMap: it is point-lookup only —
-        // never iterated — and output order is fixed by the probe-side
-        // row order plus the insertion-ordered Vec<usize> match lists, so
-        // no hash order can reach the result. (colt-analyze's
-        // hash-iteration lint verifies the "never iterated" part.)
-        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.rows.len());
-        for (i, row) in build.rows.iter().enumerate() {
-            let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
-            table.entry(key).or_default().push(i);
-            io.cpu_ops += 2; // hash + insert
+        if on.is_empty() {
+            // Cartesian product, build-major like the reference — which
+            // still pays the (degenerate, empty-key) build phase.
+            let (_, probe_flat) = probe.flatten();
+            let probe_rows = probe_flat.physical_rows();
+            io.cpu_ops += 2 * build_rows as u64;
+            io.cpu_ops += build_rows as u64 * probe_rows as u64;
+            if need {
+                for b in 0..build_rows {
+                    for p in 0..probe_rows {
+                        acc.push_pair(&build_flat, b, build_width, &probe_flat, p);
+                    }
+                }
+            } else {
+                acc.count = build_rows as u64 * probe_rows as u64;
+            }
+            io.tuples += acc.count;
+            let (batches, count) = acc.finish();
+            return Ok(OpOutput { layout, batches, count });
         }
 
-        // Probe phase. Cartesian product when `on` is empty.
-        let mut out = Vec::new();
-        if on.is_empty() {
-            for b in &build.rows {
-                for p in &probe.rows {
-                    io.cpu_ops += 1;
-                    let mut row = b.clone();
-                    row.extend(p.iter().cloned());
-                    out.push(row);
-                }
+        // Build phase, one key column at a time. Deliberately HashMaps:
+        // point-lookup only — never iterated — and output order is fixed
+        // by the probe-side row order plus the insertion-ordered
+        // Vec<u32> match lists, so no hash order can reach the result.
+        // (colt-analyze's hash-iteration lint verifies the "never
+        // iterated" part.) Single-column keys skip the per-row Vec.
+        let mut single: HashMap<&Value, Vec<u32>> = HashMap::new();
+        let mut multi: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        if let [key_pos] = build_keys[..] {
+            single.reserve(build_rows);
+            for i in 0..build_rows {
+                single.entry(build_flat.val(key_pos, i)).or_default().push(i as u32);
+                io.cpu_ops += 2; // hash + insert
             }
         } else {
-            for p in &probe.rows {
+            multi.reserve(build_rows);
+            for i in 0..build_rows {
+                let key: Vec<Value> =
+                    build_keys.iter().map(|&k| build_flat.val(k, i).clone()).collect();
+                multi.entry(key).or_default().push(i as u32);
+                io.cpu_ops += 2; // hash + insert
+            }
+        }
+
+        // Probe phase: key column at a time, batch by batch.
+        let mut key_buf: Vec<Value> = Vec::with_capacity(probe_keys.len());
+        for pb in &probe.batches {
+            for p in pb.live() {
                 io.cpu_ops += 1;
-                let key: Vec<Value> = probe_keys.iter().map(|&k| p[k].clone()).collect();
-                if let Some(matches) = table.get(&key) {
+                let matches = if let [key_pos] = probe_keys[..] {
+                    single.get(pb.val(key_pos, p))
+                } else {
+                    key_buf.clear();
+                    key_buf.extend(probe_keys.iter().map(|&k| pb.val(k, p).clone()));
+                    multi.get(&key_buf)
+                };
+                if let Some(matches) = matches {
                     for &bi in matches {
-                        let mut row = build.rows[bi].clone();
-                        row.extend(p.iter().cloned());
-                        out.push(row);
+                        acc.push_pair(&build_flat, bi as usize, build_width, pb, p);
                     }
                 }
             }
         }
-        io.tuples += out.len() as u64;
+        io.tuples += acc.count;
+        let (batches, count) = acc.finish();
+        Ok(OpOutput { layout, batches, count })
+    }
 
-        let mut tables = build.tables;
-        tables.extend(probe.tables);
-        Ok(Batch { tables, rows: out })
+    /// Index nested-loop join: probe the inner table's B+ tree once per
+    /// outer row, fetch matches, and apply the inner table's selection
+    /// predicates plus any residual join predicates.
+    #[allow(clippy::too_many_arguments)]
+    fn index_nl_join(
+        &self,
+        query: &Query,
+        outer: OpOutput,
+        inner: TableId,
+        index_col: ColRef,
+        probe_on: crate::query::JoinPred,
+        residual_on: &[crate::query::JoinPred],
+        io: &mut IoStats,
+        need: bool,
+    ) -> Result<OpOutput, ExecError> {
+        let inner_table = self.db.table(inner);
+        let index = materialized_index(self.config, index_col);
+        let inner_preds: Vec<&SelPred> = query.selections_on(inner).collect();
+        let inner_arity = inner_table.schema.arity();
+        check_pred_cols("index_nl_join", &inner_preds, inner_arity)?;
+
+        // Locate the outer side of the probe predicate in the layout.
+        let locate = |side: ColRef| -> Result<usize, ExecError> {
+            let pos = outer.layout.col_of(side).ok_or(ExecError::JoinKeyTableMissing {
+                operator: "index_nl_join",
+                table: side.table,
+            })?;
+            if side.column as usize >= self.db.table(side.table).schema.arity() {
+                return Err(ExecError::UnknownColRef { operator: "index_nl_join", col: side });
+            }
+            Ok(pos)
+        };
+        let outer_side = if probe_on.left.table == inner { probe_on.right } else { probe_on.left };
+        let probe_pos = locate(outer_side)?;
+
+        // Residual join predicates: (outer position, inner column).
+        let residuals: Vec<(usize, usize)> = residual_on
+            .iter()
+            .map(|j| {
+                let (o, i) =
+                    if j.left.table == inner { (j.right, j.left) } else { (j.left, j.right) };
+                if i.column as usize >= inner_arity {
+                    return Err(ExecError::UnknownColRef { operator: "index_nl_join", col: i });
+                }
+                Ok((locate(o)?, i.column as usize))
+            })
+            .collect::<Result<_, ExecError>>()?;
+
+        let _batch_span = colt_obs::span("engine.exec.batch");
+        let (outer_layout, outer_flat) = outer.flatten();
+        let outer_width = outer_layout.width();
+        let layout = TableLayout::join(&outer_layout, &TableLayout::single(self.db, inner));
+        let mut acc = OutAcc::new(layout.width(), need);
+        // One probe per outer row, reusing the rowid buffer. Page
+        // charges deduplicate within one fetch only (per probe), never
+        // across probes — merging rowids across outer rows would change
+        // `random_pages` relative to the row-at-a-time reference.
+        let mut rowids: Vec<RowId> = Vec::new();
+        for o in 0..outer_flat.physical_rows() {
+            rowids.clear();
+            index.tree.lookup_into(outer_flat.val(probe_pos, o), &mut rowids, io);
+            let fetched = inner_table.heap.fetch_sorted(&mut rowids, io);
+            for irow in fetched {
+                io.cpu_ops += (inner_preds.len() + residuals.len()) as u64;
+                let sel_ok = inner_preds.iter().all(|p| p.matches(&irow[p.col.column as usize]));
+                let res_ok =
+                    residuals.iter().all(|&(op, ic)| outer_flat.val(op, o) == &irow[ic]);
+                if sel_ok && res_ok {
+                    acc.push_row_suffix(&outer_flat, o, outer_width, irow);
+                }
+            }
+        }
+        io.tuples += acc.count;
+        let (batches, count) = acc.finish();
+        Ok(OpOutput { layout, batches, count })
+    }
+}
+
+/// Output accumulator for join operators: collects result values column
+/// by column, emitting a dense [`ColumnBatch`] every [`BATCH_ROWS`]
+/// rows. With `need == false` it only counts.
+struct OutAcc {
+    cols: Vec<Vec<Value>>,
+    batches: Vec<ColumnBatch>,
+    count: u64,
+    pending: usize,
+    need: bool,
+}
+
+impl OutAcc {
+    fn new(width: usize, need: bool) -> Self {
+        OutAcc { cols: vec![Vec::new(); width], batches: Vec::new(), count: 0, pending: 0, need }
+    }
+
+    /// Append `left`'s physical row `li` followed by `right`'s physical
+    /// row `ri`.
+    fn push_pair(
+        &mut self,
+        left: &ColumnBatch,
+        li: usize,
+        left_width: usize,
+        right: &ColumnBatch,
+        ri: usize,
+    ) {
+        self.count += 1;
+        if !self.need {
+            return;
+        }
+        for c in 0..left_width {
+            self.cols[c].push(left.val(c, li).clone());
+        }
+        for c in left_width..self.cols.len() {
+            self.cols[c].push(right.val(c - left_width, ri).clone());
+        }
+        self.bump();
+    }
+
+    /// Append `left`'s physical row `li` followed by a borrowed row.
+    fn push_row_suffix(&mut self, left: &ColumnBatch, li: usize, left_width: usize, row: &Row) {
+        self.count += 1;
+        if !self.need {
+            return;
+        }
+        for c in 0..left_width {
+            self.cols[c].push(left.val(c, li).clone());
+        }
+        for (c, v) in row.iter().enumerate() {
+            self.cols[left_width + c].push(v.clone());
+        }
+        self.bump();
+    }
+
+    fn bump(&mut self) {
+        self.pending += 1;
+        if self.pending == BATCH_ROWS {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            let width = self.cols.len();
+            let full = std::mem::replace(&mut self.cols, vec![Vec::new(); width]);
+            self.batches.push(ColumnBatch::dense(full));
+            self.pending = 0;
+        }
+    }
+
+    fn finish(mut self) -> (Vec<ColumnBatch>, u64) {
+        self.flush();
+        (self.batches, self.count)
+    }
+}
+
+/// Check every predicate's column against the table arity, surfacing
+/// out-of-range references as [`ExecError::UnknownColRef`] instead of
+/// an indexing panic inside an operator loop.
+pub(crate) fn check_pred_cols(
+    operator: &'static str,
+    preds: &[&SelPred],
+    arity: usize,
+) -> Result<(), ExecError> {
+    for p in preds {
+        if p.col.column as usize >= arity {
+            return Err(ExecError::UnknownColRef { operator, col: p.col });
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate `preds` (skipping the predicate at `skip`, if any) over a
+/// chunk of rows, one predicate at a time over the whole chunk, leaving
+/// the matching row indices in `sel` (ascending).
+pub(crate) fn select_rows<R: std::borrow::Borrow<Row>>(
+    rows: &[R],
+    preds: &[&SelPred],
+    skip: Option<usize>,
+    sel: &mut Vec<u32>,
+) {
+    sel.clear();
+    let mut first = true;
+    for (pi, p) in preds.iter().enumerate() {
+        if Some(pi) == skip {
+            continue;
+        }
+        let c = p.col.column as usize;
+        if first {
+            sel.extend(
+                rows.iter()
+                    .enumerate()
+                    .filter(|(_, r)| p.matches(&r.borrow()[c]))
+                    .map(|(i, _)| i as u32),
+            );
+            first = false;
+        } else {
+            sel.retain(|&i| p.matches(&rows[i as usize].borrow()[c]));
+        }
+    }
+    if first {
+        sel.extend(0..rows.len() as u32);
+    }
+}
+
+/// Gather the selected rows of a chunk into a dense column batch,
+/// column by column.
+fn gather_rows<R: std::borrow::Borrow<Row>>(rows: &[R], sel: &[u32], width: usize) -> ColumnBatch {
+    let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(sel.len())).collect();
+    for (c, col) in cols.iter_mut().enumerate() {
+        col.extend(sel.iter().map(|&i| rows[i as usize].borrow()[c].clone()));
+    }
+    ColumnBatch::dense(cols)
+}
+
+/// The materialized single-column index a plan node refers to.
+pub(crate) fn materialized_index(
+    config: &PhysicalConfig,
+    col: ColRef,
+) -> &colt_catalog::MaterializedIndex {
+    config
+        .get(col)
+        // colt: allow(panic-policy) — the optimizer only emits index nodes for materialized indexes
+        .unwrap_or_else(|| panic!("plan uses unmaterialized index {col}"))
+}
+
+/// Collect the rowids an index scan's driving predicate selects, and
+/// the driver's position within `preds`. Charges descend/leaf I/O via
+/// the tree; the caller fetches the heap rows.
+pub(crate) fn index_scan_rowids(
+    config: &PhysicalConfig,
+    preds: &[&SelPred],
+    col: ColRef,
+    io: &mut IoStats,
+) -> (Vec<RowId>, usize) {
+    let index = materialized_index(config, col);
+    let driver_idx = preds
+        .iter()
+        .position(|p| p.col == col)
+        // colt: allow(panic-policy) — index scans are only planned on sargable columns
+        .unwrap_or_else(|| panic!("index scan without sargable predicate on {col}"));
+    let mut rowids: Vec<RowId> = Vec::new();
+    match &preds[driver_idx].kind {
+        PredicateKind::Eq(v) => index.tree.lookup_into(v, &mut rowids, io),
+        PredicateKind::In(vs) => {
+            // One descent per list element; the sorted fetch afterwards
+            // deduplicates heap pages.
+            for v in vs {
+                index.tree.lookup_into(v, &mut rowids, io);
+            }
+        }
+        PredicateKind::Range { lo, hi } => {
+            index.tree.range_into(range_bound(lo), range_bound(hi), &mut rowids, io);
+        }
+    }
+    (rowids, driver_idx)
+}
+
+/// Collect the rowids a composite scan's prefix (plus optional range on
+/// the next key column) selects.
+pub(crate) fn composite_scan_rowids(
+    config: &PhysicalConfig,
+    preds: &[&SelPred],
+    key: &colt_catalog::CompositeKey,
+    eq_prefix: u32,
+    range_next: bool,
+    io: &mut IoStats,
+) -> Vec<RowId> {
+    let index = config
+        .get_composite(key)
+        // colt: allow(panic-policy) — the optimizer only emits composite scans for materialized composites
+        .unwrap_or_else(|| panic!("plan uses unmaterialized composite {key}"));
+    // Equality values pinning the prefix.
+    let prefix: Vec<Value> = key.columns[..eq_prefix as usize]
+        .iter()
+        .map(|&c| {
+            let pred = preds
+                .iter()
+                .find(|p| p.col.column == c && matches!(p.kind, PredicateKind::Eq(_)))
+                // colt: allow(panic-policy) — eq_prefix was chosen from these very predicates
+                .unwrap_or_else(|| panic!("missing eq predicate for composite prefix"));
+            match &pred.kind {
+                PredicateKind::Eq(v) => v.clone(),
+                // colt: allow(panic-policy) — the find above matched PredicateKind::Eq only
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    // Optional range on the next column.
+    let next = if range_next {
+        let c = key.columns[eq_prefix as usize];
+        let pred = preds
+            .iter()
+            .find(|p| p.col.column == c && matches!(p.kind, PredicateKind::Range { .. }))
+            // colt: allow(panic-policy) — range_next is set only when such a predicate exists
+            .unwrap_or_else(|| panic!("missing range predicate for composite scan"));
+        // colt: allow(panic-policy) — the find above matched PredicateKind::Range only
+        let PredicateKind::Range { lo, hi } = &pred.kind else { unreachable!() };
+        Some((range_bound(lo), range_bound(hi)))
+    } else {
+        None
+    };
+    colt_catalog::prefix_scan(index, &prefix, next, io)
+}
+
+fn range_bound(b: &Option<crate::query::RangeBound>) -> Bound<Value> {
+    match b {
+        Some(rb) if rb.inclusive => Bound::Included(rb.value.clone()),
+        Some(rb) => Bound::Excluded(rb.value.clone()),
+        None => Bound::Unbounded,
     }
 }
 
@@ -533,7 +826,8 @@ mod tests {
         ));
         db.insert_rows(
             fact,
-            (0..20_000i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 200), Value::Int(i % 7)])),
+            (0..20_000i64)
+                .map(|i| row_from(vec![Value::Int(i), Value::Int(i % 200), Value::Int(i % 7)])),
         );
         db.insert_rows(dim, (0..200i64).map(|i| row_from(vec![Value::Int(i), Value::Int(i % 4)])));
         db.analyze_all();
@@ -547,7 +841,8 @@ mod tests {
     ) -> (QueryResult, Vec<Vec<Value>>) {
         let opt = Optimizer::new(db);
         let plan = opt.optimize(q, IndexSetView::real(cfg));
-        Executor::new(db, cfg).execute_collect(q, &plan).unwrap()
+        let out = Executor::new(db, cfg).execute(q, &plan, Collect::Rows).unwrap();
+        (out.result, out.rows)
     }
 
     #[test]
@@ -565,6 +860,52 @@ mod tests {
     }
 
     #[test]
+    fn count_only_charges_like_rows() {
+        // Collect::CountOnly skips materialization at the root; the
+        // charges (and therefore the simulated clock) must not move.
+        let (db, fact, dim) = db();
+        let cfg = PhysicalConfig::new();
+        let queries = [
+            Query::single(fact, vec![SelPred::eq(ColRef::new(fact, 2), 3i64)]),
+            Query::join(
+                vec![fact, dim],
+                vec![JoinPred::new(ColRef::new(fact, 1), ColRef::new(dim, 0))],
+                vec![SelPred::eq(ColRef::new(dim, 1), 2i64)],
+            ),
+        ];
+        let opt = Optimizer::new(&db);
+        for q in &queries {
+            let plan = opt.optimize(q, IndexSetView::real(&cfg));
+            let ex = Executor::new(&db, &cfg);
+            let counted = ex.execute(q, &plan, Collect::CountOnly).unwrap();
+            let collected = ex.execute(q, &plan, Collect::Rows).unwrap();
+            assert!(counted.rows.is_empty());
+            assert_eq!(counted.row_count(), collected.row_count());
+            assert_eq!(counted.result.io, collected.result.io);
+            assert_eq!(counted.layout, collected.layout);
+        }
+    }
+
+    #[test]
+    fn results_straddle_batch_boundaries() {
+        // 2857 matching rows out of 20000: both the scan input (20000)
+        // and its output straddle the 1024-row batch boundary, and the
+        // total must be exact.
+        let (db, fact, _) = db();
+        let cfg = PhysicalConfig::new();
+        let q = Query::single(fact, vec![SelPred::eq(ColRef::new(fact, 2), 3i64)]);
+        let (res, rows) = plan_and_run(&db, &cfg, &q);
+        assert!(res.row_count as usize > BATCH_ROWS * 2);
+        assert_eq!(rows.len(), res.row_count as usize);
+        // Row order is heap order, across all chunk boundaries.
+        let ids: Vec<i64> = rows
+            .iter()
+            .map(|r| if let Value::Int(i) = r[0] { i } else { unreachable!() })
+            .collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn index_scan_and_seq_scan_agree() {
         let (db, fact, _) = db();
         let col = ColRef::new(fact, 0);
@@ -578,7 +919,8 @@ mod tests {
         let opt = Optimizer::new(&db);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
         assert_eq!(plan.used_indices(), vec![col], "index must be chosen: {}", plan.explain());
-        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
+        let out = Executor::new(&db, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+        let (idx_res, mut idx_rows) = (out.result, out.rows);
 
         seq_rows.sort();
         idx_rows.sort();
@@ -603,15 +945,18 @@ mod tests {
         );
         let bare = PhysicalConfig::new();
         let opt = Optimizer::new(&db);
-        let (seq_res, mut seq_rows) =
-            Executor::new(&db, &bare).execute_collect(&q, &opt.optimize(&q, IndexSetView::real(&bare))).unwrap();
+        let out = Executor::new(&db, &bare)
+            .execute(&q, &opt.optimize(&q, IndexSetView::real(&bare)), Collect::Rows)
+            .unwrap();
+        let (seq_res, mut seq_rows) = (out.result, out.rows);
         assert_eq!(seq_res.row_count, 3);
 
         let mut cfg = PhysicalConfig::new();
         cfg.create_index(&db, col, IndexOrigin::Online);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
         assert_eq!(plan.used_indices(), vec![col], "IN must be index-sargable: {}", plan.explain());
-        let (idx_res, mut idx_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
+        let out = Executor::new(&db, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+        let (idx_res, mut idx_rows) = (out.result, out.rows);
         seq_rows.sort();
         idx_rows.sort();
         assert_eq!(seq_rows, idx_rows);
@@ -626,25 +971,19 @@ mod tests {
         let col = ColRef::new(fact, 0);
         let mut cfg = PhysicalConfig::new();
         cfg.create_index(&db, col, IndexOrigin::Online);
-        let q = Query::single(
-            fact,
-            vec![SelPred::eq(col, 5i64), SelPred::eq(col, 7i64)],
-        );
+        let q = Query::single(fact, vec![SelPred::eq(col, 5i64), SelPred::eq(col, 7i64)]);
         let opt = Optimizer::new(&db);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
-        assert_eq!(res.row_count, 0, "id = 5 AND id = 7 matches nothing");
+        let res = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(res.row_count(), 0, "id = 5 AND id = 7 matches nothing");
         // Overlapping ranges on the same column must intersect.
         let q = Query::single(
             fact,
-            vec![
-                SelPred::between(col, 0i64, 100i64),
-                SelPred::between(col, 50i64, 200i64),
-            ],
+            vec![SelPred::between(col, 0i64, 100i64), SelPred::between(col, 50i64, 200i64)],
         );
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
-        assert_eq!(res.row_count, 51, "intersection [50, 100]");
+        let res = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(res.row_count(), 51, "intersection [50, 100]");
     }
 
     #[test]
@@ -707,11 +1046,13 @@ mod tests {
             "{}",
             plan.explain()
         );
-        let (comp_res, mut comp_rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
+        let out = Executor::new(&db, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+        let (comp_res, mut comp_rows) = (out.result, out.rows);
 
         let bare = PhysicalConfig::new();
         let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
-        let (seq_res, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan).unwrap();
+        let out = Executor::new(&db, &bare).execute(&q, &seq_plan, Collect::Rows).unwrap();
+        let (seq_res, mut seq_rows) = (out.result, out.rows);
         comp_rows.sort();
         seq_rows.sort();
         assert_eq!(comp_rows, seq_rows);
@@ -748,10 +1089,12 @@ mod tests {
             "{}",
             plan.explain()
         );
-        let (res, mut rows) = Executor::new(&db, &cfg).execute_collect(&q, &plan).unwrap();
+        let out = Executor::new(&db, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+        let (res, mut rows) = (out.result, out.rows);
         let bare = PhysicalConfig::new();
         let seq_plan = opt.optimize(&q, IndexSetView::real(&bare));
-        let (_, mut seq_rows) = Executor::new(&db, &bare).execute_collect(&q, &seq_plan).unwrap();
+        let out = Executor::new(&db, &bare).execute(&q, &seq_plan, Collect::Rows).unwrap();
+        let mut seq_rows = out.rows;
         rows.sort();
         seq_rows.sort();
         assert_eq!(rows, seq_rows);
@@ -779,10 +1122,11 @@ mod tests {
         );
         let hash_plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&PhysicalConfig::new()));
 
-        let (inl_res, inl_rows) = Executor::new(&db, &cfg).execute_collect(&q, &inl_plan).unwrap();
-        let (hash_res, hash_rows) =
-            Executor::new(&db, &PhysicalConfig::new()).execute_collect(&q, &hash_plan).unwrap();
-        assert_eq!(inl_res.row_count, hash_res.row_count);
+        let inl = Executor::new(&db, &cfg).execute(&q, &inl_plan, Collect::Rows).unwrap();
+        let hash = Executor::new(&db, &PhysicalConfig::new())
+            .execute(&q, &hash_plan, Collect::Rows)
+            .unwrap();
+        assert_eq!(inl.row_count(), hash.row_count());
         // Column order differs between the operators (outer-first vs
         // build-first); compare as multisets of sorted rows.
         let canon = |rows: Vec<Vec<Value>>| {
@@ -796,13 +1140,13 @@ mod tests {
             v.sort();
             v
         };
-        assert_eq!(canon(inl_rows), canon(hash_rows));
+        assert_eq!(canon(inl.rows), canon(hash.rows));
         // The two strategies are within the same ballpark here (the
         // single-probe case is a near-tie in this cost model); the I/O
         // profiles must nonetheless differ in the expected direction:
         // INLJ does random probes, the hash join scans sequentially.
-        assert!(inl_res.io.random_pages > hash_res.io.random_pages);
-        assert!(inl_res.io.seq_pages < hash_res.io.seq_pages);
+        assert!(inl.result.io.random_pages > hash.result.io.random_pages);
+        assert!(inl.result.io.seq_pages < hash.result.io.seq_pages);
     }
 
     #[test]
@@ -828,9 +1172,9 @@ mod tests {
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
         let (res, text) = Executor::new(&db, &cfg).explain_analyze(&q, &plan).unwrap();
         // Same result as plain execution.
-        let plain = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
-        assert_eq!(res.row_count, plain.row_count);
-        assert_eq!(res.io, plain.io);
+        let plain = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(res.row_count, plain.row_count());
+        assert_eq!(res.io, plain.result.io);
         // The rendering mentions each operator with estimates and actuals.
         assert!(text.contains("HashJoin"), "{text}");
         assert!(text.contains("SeqScan"), "{text}");
@@ -865,11 +1209,8 @@ mod tests {
             },
         };
         let q = Query::join(vec![fact, dim], vec![], vec![]);
-        let err = Executor::new(&db, &cfg).execute(&q, &plan).unwrap_err();
-        assert_eq!(
-            err,
-            ExecError::JoinKeyTableMissing { operator: "hash_join", table: stray }
-        );
+        let err = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap_err();
+        assert_eq!(err, ExecError::JoinKeyTableMissing { operator: "hash_join", table: stray });
         assert!(err.to_string().contains("t99"), "{err}");
         // The same contradiction through the INLJ path.
         let mut icfg = PhysicalConfig::new();
@@ -886,11 +1227,47 @@ mod tests {
                 est_cost: 2.0,
             },
         };
-        let err = Executor::new(&db, &icfg).execute(&q, &plan).unwrap_err();
+        let err = Executor::new(&db, &icfg).execute(&q, &plan, Collect::CountOnly).unwrap_err();
         assert_eq!(
             err,
             ExecError::JoinKeyTableMissing { operator: "index_nl_join", table: stray }
         );
+    }
+
+    #[test]
+    fn out_of_range_column_is_typed_error_not_panic() {
+        // A predicate (or join key) referencing a column beyond the
+        // table's arity used to be an unchecked indexing panic inside
+        // the operator loop; it must surface as ExecError::UnknownColRef
+        // at the batch boundary.
+        use crate::plan::{AccessPath, PlanNode};
+        let (db, fact, dim) = db();
+        let cfg = PhysicalConfig::new();
+        let bad = ColRef::new(fact, 9);
+        let q = Query::single(fact, vec![SelPred::eq(bad, 1i64)]);
+        let scan = |t: TableId| PlanNode::Scan {
+            table: t,
+            path: AccessPath::SeqScan,
+            est_rows: 1.0,
+            est_cost: 1.0,
+        };
+        let plan = Plan { root: scan(fact) };
+        let err = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap_err();
+        assert_eq!(err, ExecError::UnknownColRef { operator: "scan", col: bad });
+        assert!(err.to_string().contains("input"), "{err}");
+        // Through a hand-built join key.
+        let plan = Plan {
+            root: PlanNode::HashJoin {
+                build: Box::new(scan(fact)),
+                probe: Box::new(scan(dim)),
+                on: vec![JoinPred::new(bad, ColRef::new(dim, 0))],
+                est_rows: 1.0,
+                est_cost: 2.0,
+            },
+        };
+        let jq = Query::join(vec![fact, dim], vec![], vec![]);
+        let err = Executor::new(&db, &cfg).execute(&jq, &plan, Collect::CountOnly).unwrap_err();
+        assert_eq!(err, ExecError::UnknownColRef { operator: "hash_join", col: bad });
     }
 
     #[test]

@@ -17,18 +17,22 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
+pub mod batch;
 pub mod cost;
 pub mod executor;
 pub mod memo;
 pub mod optimizer;
 pub mod plan;
 pub mod query;
+pub mod rowwise;
 pub mod selectivity;
 pub mod sql;
 pub mod whatif;
 
 pub use aggregate::{AggExpr, AggFunc, AggSpec};
-pub use executor::{ExecError, Executor, QueryResult};
+pub use batch::{ColumnBatch, TableLayout, BATCH_ROWS};
+pub use executor::{Collect, ExecError, ExecOutput, Executor, QueryResult};
+pub use rowwise::RowwiseExecutor;
 pub use memo::{MemoHandle, WhatIfMemo};
 pub use optimizer::{IndexSetView, Optimizer, OptimizerOptions};
 pub use plan::{AccessPath, Plan, PlanNode};

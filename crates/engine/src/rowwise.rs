@@ -1,0 +1,329 @@
+//! Row-at-a-time reference executor.
+//!
+//! The straight-line tuple-at-a-time implementation the vectorized
+//! executor replaced, kept as an executable specification: it shares
+//! the rowid-collection helpers (and therefore the exact `IoStats`
+//! charges) with [`crate::executor::Executor`], but processes one
+//! row-major `Vec<Value>` at a time with no batching, no selection
+//! vectors, and no late materialization. The engine property tests
+//! assert both executors produce identical results, charges, and row
+//! order on random queries; `exec_gate` measures the speedup of the
+//! batch path against this one.
+//!
+//! Deliberately *not* instrumented: no `colt_obs` counters or spans, so
+//! running the reference never perturbs observability snapshots the
+//! exhibits assert on.
+
+use crate::aggregate::{Acc, AggSpec};
+use crate::batch::TableLayout;
+use crate::executor::{
+    check_pred_cols, composite_scan_rowids, index_scan_rowids, materialized_index, Collect,
+    ExecError, ExecOutput, QueryResult,
+};
+use crate::plan::{AccessPath, Plan, PlanNode};
+use crate::query::{Query, SelPred};
+use colt_catalog::{ColRef, Database, PhysicalConfig, TableId};
+use colt_storage::{IoStats, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Rows flowing between operators: the source table of each column slice
+/// is tracked so join keys can be located.
+struct Batch {
+    tables: Vec<TableId>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// The reference executor. Same public surface as
+/// [`crate::executor::Executor`], tuple-at-a-time inside.
+#[derive(Debug, Clone, Copy)]
+pub struct RowwiseExecutor<'a> {
+    db: &'a Database,
+    config: &'a PhysicalConfig,
+}
+
+impl<'a> RowwiseExecutor<'a> {
+    /// Create a reference executor over a database and configuration.
+    pub fn new(db: &'a Database, config: &'a PhysicalConfig) -> Self {
+        RowwiseExecutor { db, config }
+    }
+
+    /// Execute a plan row-at-a-time. Unlike the vectorized executor,
+    /// rows are always materialized internally; `collect` only controls
+    /// whether they are returned.
+    pub fn execute(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        collect: Collect,
+    ) -> Result<ExecOutput, ExecError> {
+        let mut io = IoStats::new();
+        let batch = self.run(query, &plan.root, &mut io)?;
+        let millis = self.db.cost.millis_of(&io);
+        Ok(ExecOutput {
+            result: QueryResult { row_count: batch.rows.len() as u64, millis, io },
+            rows: if collect == Collect::Rows { batch.rows } else { Vec::new() },
+            layout: batch.tables,
+        })
+    }
+
+    /// Aggregate a plan's result per `spec`, row-at-a-time. Mirrors
+    /// [`crate::executor::Executor::execute_aggregate`] exactly.
+    pub fn execute_aggregate(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        spec: &AggSpec,
+    ) -> Result<(QueryResult, Vec<Vec<Value>>), ExecError> {
+        let mut io = IoStats::new();
+        let batch = self.run(query, &plan.root, &mut io)?;
+        let layout = TableLayout::of_tables(self.db, &batch.tables);
+        let resolve = |c: ColRef| -> Result<usize, ExecError> {
+            let pos =
+                layout.col_of(c).ok_or(ExecError::UnknownColRef { operator: "aggregate", col: c })?;
+            if c.column as usize >= self.db.table(c.table).schema.arity() {
+                return Err(ExecError::UnknownColRef { operator: "aggregate", col: c });
+            }
+            Ok(pos)
+        };
+        let group_pos: Vec<usize> =
+            spec.group_by.iter().map(|&c| resolve(c)).collect::<Result<_, ExecError>>()?;
+        let agg_pos: Vec<Option<usize>> = spec
+            .exprs
+            .iter()
+            .map(|e| e.col.map(resolve).transpose())
+            .collect::<Result<_, ExecError>>()?;
+
+        let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
+        if spec.group_by.is_empty() {
+            groups.insert(Vec::new(), spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+        }
+        for row in &batch.rows {
+            let key: Vec<Value> = group_pos.iter().map(|&p| row[p].clone()).collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+            for (acc, pos) in accs.iter_mut().zip(&agg_pos) {
+                acc.feed(pos.map(|p| &row[p]));
+            }
+            io.cpu_ops += spec.exprs.len() as u64 + 1;
+        }
+        let out: Vec<Vec<Value>> = groups
+            .into_iter()
+            .map(|(mut key, accs)| {
+                key.extend(accs.into_iter().map(Acc::finish));
+                key
+            })
+            .collect();
+        Ok((
+            QueryResult {
+                row_count: out.len() as u64,
+                millis: self.db.cost.millis_of(&io),
+                io,
+            },
+            out,
+        ))
+    }
+
+    fn run(&self, query: &Query, node: &PlanNode, io: &mut IoStats) -> Result<Batch, ExecError> {
+        match node {
+            PlanNode::Scan { table, path, .. } => self.run_scan(query, *table, path, io),
+            PlanNode::HashJoin { build, probe, on, .. } => {
+                let b = self.run(query, build, io)?;
+                let p = self.run(query, probe, io)?;
+                self.hash_join(b, p, on, io)
+            }
+            PlanNode::IndexNlJoin { outer, inner, index, probe_on, residual_on, .. } => {
+                let o = self.run(query, outer, io)?;
+                self.index_nl_join(query, o, *inner, *index, *probe_on, residual_on, io)
+            }
+        }
+    }
+
+    fn run_scan(
+        &self,
+        query: &Query,
+        table: TableId,
+        path: &AccessPath,
+        io: &mut IoStats,
+    ) -> Result<Batch, ExecError> {
+        let t = self.db.table(table);
+        let preds: Vec<&SelPred> = query.selections_on(table).collect();
+        check_pred_cols("scan", &preds, t.schema.arity())?;
+        let rows: Vec<Vec<Value>> = match path {
+            AccessPath::SeqScan => t
+                .heap
+                .scan(io)
+                .filter(|(_, row)| {
+                    io.cpu_ops += preds.len() as u64;
+                    preds.iter().all(|p| p.matches(&row[p.col.column as usize]))
+                })
+                .map(|(_, row)| row.to_vec())
+                .collect(),
+            AccessPath::CompositeScan { key, eq_prefix, range_next } => {
+                let mut rowids =
+                    composite_scan_rowids(self.config, &preds, key, *eq_prefix, *range_next, io);
+                let fetched = t.heap.fetch_sorted(&mut rowids, io);
+                fetched
+                    .into_iter()
+                    .filter(|row| {
+                        io.cpu_ops += preds.len() as u64;
+                        preds.iter().all(|p| p.matches(&row[p.col.column as usize]))
+                    })
+                    .map(|row| row.to_vec())
+                    .collect()
+            }
+            AccessPath::IndexScan { col } => {
+                let (mut rowids, driver_idx) = index_scan_rowids(self.config, &preds, *col, io);
+                let fetched = t.heap.fetch_sorted(&mut rowids, io);
+                fetched
+                    .into_iter()
+                    .filter(|row| {
+                        io.cpu_ops += preds.len() as u64 - 1;
+                        preds
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != driver_idx)
+                            .all(|(_, p)| p.matches(&row[p.col.column as usize]))
+                    })
+                    .map(|row| row.to_vec())
+                    .collect()
+            }
+        };
+        Ok(Batch { tables: vec![table], rows })
+    }
+
+    fn hash_join(
+        &self,
+        build: Batch,
+        probe: Batch,
+        on: &[crate::query::JoinPred],
+        io: &mut IoStats,
+    ) -> Result<Batch, ExecError> {
+        let locate = |batch: &Batch, side: ColRef| -> Result<usize, ExecError> {
+            let layout = TableLayout::of_tables(self.db, &batch.tables);
+            let pos = layout.col_of(side).ok_or(ExecError::JoinKeyTableMissing {
+                operator: "hash_join",
+                table: side.table,
+            })?;
+            if side.column as usize >= self.db.table(side.table).schema.arity() {
+                return Err(ExecError::UnknownColRef { operator: "hash_join", col: side });
+            }
+            Ok(pos)
+        };
+        let key_positions = |batch: &Batch| -> Result<Vec<usize>, ExecError> {
+            on.iter()
+                .map(|j| {
+                    let side =
+                        if batch.tables.contains(&j.left.table) { j.left } else { j.right };
+                    locate(batch, side)
+                })
+                .collect()
+        };
+        let build_keys = key_positions(&build)?;
+        let probe_keys = key_positions(&probe)?;
+
+        // Build phase — HashMap is point-lookup only, never iterated.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.rows.len());
+        for (i, row) in build.rows.iter().enumerate() {
+            let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
+            table.entry(key).or_default().push(i);
+            io.cpu_ops += 2; // hash + insert
+        }
+
+        // Probe phase. Cartesian product when `on` is empty.
+        let mut out = Vec::new();
+        if on.is_empty() {
+            for b in &build.rows {
+                for p in &probe.rows {
+                    io.cpu_ops += 1;
+                    let mut row = b.clone();
+                    row.extend(p.iter().cloned());
+                    out.push(row);
+                }
+            }
+        } else {
+            for p in &probe.rows {
+                io.cpu_ops += 1;
+                let key: Vec<Value> = probe_keys.iter().map(|&k| p[k].clone()).collect();
+                if let Some(matches) = table.get(&key) {
+                    for &bi in matches {
+                        let mut row = build.rows[bi].clone();
+                        row.extend(p.iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        io.tuples += out.len() as u64;
+
+        let mut tables = build.tables;
+        tables.extend(probe.tables);
+        Ok(Batch { tables, rows: out })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn index_nl_join(
+        &self,
+        query: &Query,
+        outer: Batch,
+        inner: TableId,
+        index_col: ColRef,
+        probe_on: crate::query::JoinPred,
+        residual_on: &[crate::query::JoinPred],
+        io: &mut IoStats,
+    ) -> Result<Batch, ExecError> {
+        let inner_table = self.db.table(inner);
+        let index = materialized_index(self.config, index_col);
+        let inner_preds: Vec<&SelPred> = query.selections_on(inner).collect();
+        let inner_arity = inner_table.schema.arity();
+        check_pred_cols("index_nl_join", &inner_preds, inner_arity)?;
+
+        let outer_layout = TableLayout::of_tables(self.db, &outer.tables);
+        let locate = |side: ColRef| -> Result<usize, ExecError> {
+            let pos = outer_layout.col_of(side).ok_or(ExecError::JoinKeyTableMissing {
+                operator: "index_nl_join",
+                table: side.table,
+            })?;
+            if side.column as usize >= self.db.table(side.table).schema.arity() {
+                return Err(ExecError::UnknownColRef { operator: "index_nl_join", col: side });
+            }
+            Ok(pos)
+        };
+        let outer_side = if probe_on.left.table == inner { probe_on.right } else { probe_on.left };
+        let probe_pos = locate(outer_side)?;
+        let residuals: Vec<(usize, usize)> = residual_on
+            .iter()
+            .map(|j| {
+                let (o, i) =
+                    if j.left.table == inner { (j.right, j.left) } else { (j.left, j.right) };
+                if i.column as usize >= inner_arity {
+                    return Err(ExecError::UnknownColRef { operator: "index_nl_join", col: i });
+                }
+                Ok((locate(o)?, i.column as usize))
+            })
+            .collect::<Result<_, ExecError>>()?;
+
+        let mut out = Vec::new();
+        for orow in &outer.rows {
+            let key = &orow[probe_pos];
+            let mut rowids = index.tree.lookup(key, io);
+            let fetched = inner_table.heap.fetch_sorted(&mut rowids, io);
+            for irow in fetched {
+                io.cpu_ops += (inner_preds.len() + residuals.len()) as u64;
+                let sel_ok = inner_preds.iter().all(|p| p.matches(&irow[p.col.column as usize]));
+                let res_ok = residuals.iter().all(|&(op, ic)| orow[op] == irow[ic]);
+                if sel_ok && res_ok {
+                    let mut row = orow.clone();
+                    row.extend(irow.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+        io.tuples += out.len() as u64;
+
+        let mut tables = outer.tables;
+        tables.push(inner);
+        Ok(Batch { tables, rows: out })
+    }
+}
+

@@ -587,7 +587,7 @@ mod tests {
     #[test]
     fn in_lists_parse_and_execute() {
         use crate::optimizer::{IndexSetView, Optimizer};
-        use crate::Executor;
+        use crate::{Collect, Executor};
         use colt_catalog::PhysicalConfig;
         let db = db();
         let p = parse(&db, "SELECT * FROM orders WHERE o_custkey IN (1, 3, 5)").unwrap();
@@ -595,8 +595,9 @@ mod tests {
         assert_eq!(vs.len(), 3);
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&p.query, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&p.query, &plan).unwrap();
-        assert_eq!(res.row_count, 30, "3 of 10 customers × 10 orders each");
+        let res =
+            Executor::new(&db, &cfg).execute(&p.query, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(res.row_count(), 30, "3 of 10 customers × 10 orders each");
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! PRNG, so every run checks the same inputs.
 
 use colt_catalog::{ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableId, TableSchema};
-use colt_engine::{Eqo, Executor, IndexSetView, Optimizer, PredicateKind, Query, SelPred};
+use colt_engine::{
+    Collect, Eqo, Executor, IndexSetView, Optimizer, PredicateKind, Query, RowwiseExecutor,
+    SelPred,
+};
 use colt_storage::{row_from, Prng, Value, ValueType};
 
 /// A two-table database whose contents are fully determined by `n`.
@@ -112,8 +115,8 @@ fn single_table_matches_reference() {
             }
         }
         let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
-        assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}");
+        let res = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(res.row_count() as usize, reference(&db, &q), "case {case}");
     }
 }
 
@@ -142,8 +145,13 @@ fn join_matches_reference() {
         }
         let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
-        assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}: {}", plan.explain());
+        let res = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(
+            res.row_count() as usize,
+            reference(&db, &q),
+            "case {case}: {}",
+            plan.explain()
+        );
     }
 }
 
@@ -224,7 +232,7 @@ fn aggregate_count_matches_rows() {
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
         let exec = Executor::new(&db, &cfg);
-        let plain = exec.execute(&q, &plan).unwrap().row_count;
+        let plain = exec.execute(&q, &plan, Collect::CountOnly).unwrap().row_count();
         let spec = AggSpec { group_by: vec![], exprs: vec![AggExpr::count_star()] };
         let (_, rows) = exec.execute_aggregate(&q, &plan, &spec).unwrap();
         assert_eq!(rows[0][0], Value::Int(plain as i64), "case {case}");
@@ -251,8 +259,9 @@ fn parsed_sql_matches_reference() {
         assert!(parsed.agg.is_none(), "case {case}");
         let cfg = PhysicalConfig::new();
         let plan = Optimizer::new(&db).optimize(&parsed.query, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&parsed.query, &plan).unwrap();
-        assert_eq!(res.row_count as usize, reference(&db, &parsed.query), "case {case}");
+        let res =
+            Executor::new(&db, &cfg).execute(&parsed.query, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(res.row_count() as usize, reference(&db, &parsed.query), "case {case}");
         // And the parsed predicates have the intended shapes.
         let eq_ok = matches!(parsed.query.selections[0].kind, PredicateKind::Eq(_));
         let range_ok = matches!(parsed.query.selections[1].kind, PredicateKind::Range { .. });
@@ -296,9 +305,125 @@ fn three_table_chain_matches_reference() {
         }
         let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(&db, &cfg).execute(&q, &plan).unwrap();
-        assert_eq!(res.row_count as usize, reference(&db, &q), "case {case}: {}", plan.explain());
+        let res = Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).unwrap();
+        assert_eq!(
+            res.row_count() as usize,
+            reference(&db, &q),
+            "case {case}: {}",
+            plan.explain()
+        );
     }
+}
+
+/// The vectorized executor is observationally identical to the
+/// row-at-a-time reference implementation: same row count, same
+/// `IoStats` (and therefore the same simulated clock), same collected
+/// rows in the same order, for random queries over random physical
+/// configurations and plan shapes.
+#[test]
+fn vectorized_matches_rowwise_reference() {
+    use colt_engine::{JoinPred, OptimizerOptions};
+    let mut rng = Prng::new(0xE21E_000A);
+    for case in 0..40u64 {
+        let n_a = 1 + rng.below(2999);
+        let n_b = 1 + rng.below(39);
+        let ps = preds(&mut rng, TableId(0), 2);
+        let join = rng.chance(0.5);
+        let index_mask = rng.below(8) as u8;
+        let inlj = rng.chance(0.5);
+
+        let (db, a, b) = build_db(n_a, n_b);
+        let q = if join {
+            Query::join(
+                vec![a, b],
+                vec![JoinPred::new(ColRef::new(a, 1), ColRef::new(b, 0))],
+                ps,
+            )
+        } else {
+            Query::single(a, ps)
+        };
+        let mut cfg = PhysicalConfig::new();
+        for col in 0..3u32 {
+            if index_mask & (1 << col) != 0 {
+                cfg.create_index(&db, ColRef::new(a, col), IndexOrigin::Online);
+            }
+        }
+        let opt = Optimizer::with_options(&db, OptimizerOptions { enable_index_nl_join: inlj });
+        let plan = opt.optimize(&q, IndexSetView::real(&cfg));
+        let vec_out = Executor::new(&db, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+        let row_out = RowwiseExecutor::new(&db, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+        let ctx = format!("case {case}: {}", plan.explain());
+        assert_eq!(vec_out.row_count(), row_out.row_count(), "{ctx}");
+        assert_eq!(vec_out.result.io, row_out.result.io, "{ctx}");
+        assert_eq!(vec_out.layout, row_out.layout, "{ctx}");
+        assert_eq!(vec_out.rows, row_out.rows, "row order must match exactly; {ctx}");
+        assert!((vec_out.millis() - row_out.millis()).abs() < 1e-12, "{ctx}");
+    }
+}
+
+/// Aggregation over both executors folds identically — group order,
+/// float accumulation order, and charges included.
+#[test]
+fn vectorized_aggregate_matches_rowwise_reference() {
+    use colt_engine::{AggExpr, AggFunc, AggSpec};
+    let mut rng = Prng::new(0xE21E_000B);
+    for case in 0..25u64 {
+        let n = 1 + rng.below(2999);
+        let ps = preds(&mut rng, TableId(0), 1);
+        let (db, a, _) = build_db(n, 7);
+        let q = Query::single(a, ps);
+        let cfg = PhysicalConfig::new();
+        let plan = Optimizer::new(&db).optimize(&q, IndexSetView::real(&cfg));
+        let spec = AggSpec {
+            group_by: vec![ColRef::new(a, 1)],
+            exprs: vec![
+                AggExpr::count_star(),
+                AggExpr::over(AggFunc::Sum, ColRef::new(a, 2)),
+                AggExpr::over(AggFunc::Avg, ColRef::new(a, 0)),
+            ],
+        };
+        let (vres, vrows) =
+            Executor::new(&db, &cfg).execute_aggregate(&q, &plan, &spec).unwrap();
+        let (rres, rrows) =
+            RowwiseExecutor::new(&db, &cfg).execute_aggregate(&q, &plan, &spec).unwrap();
+        assert_eq!(vrows, rrows, "case {case}");
+        assert_eq!(vres.io, rres.io, "case {case}");
+        assert_eq!(vres.row_count, rres.row_count, "case {case}");
+    }
+}
+
+/// Selection-vector edge cases: empty input, everything filtered out,
+/// and result sets straddling the 1024-row batch boundary all agree
+/// between the two executors.
+#[test]
+fn vectorized_edge_cases_match_rowwise() {
+    let (db, a, _) = build_db(2_500, 7);
+    let cfg = PhysicalConfig::new();
+    let opt = Optimizer::new(&db);
+    let queries = [
+        // All-filtered: no id is negative.
+        Query::single(a, vec![SelPred::eq(ColRef::new(a, 0), -100i64)]),
+        // Everything passes: 2500 rows straddle two batch boundaries.
+        Query::single(a, vec![]),
+        // Selective straddler: ~half the rows survive.
+        Query::single(a, vec![SelPred::ge(ColRef::new(a, 0), 1_250i64)]),
+    ];
+    for (i, q) in queries.iter().enumerate() {
+        let plan = opt.optimize(q, IndexSetView::real(&cfg));
+        let v = Executor::new(&db, &cfg).execute(q, &plan, Collect::Rows).unwrap();
+        let r = RowwiseExecutor::new(&db, &cfg).execute(q, &plan, Collect::Rows).unwrap();
+        assert_eq!(v.rows, r.rows, "query {i}");
+        assert_eq!(v.result.io, r.result.io, "query {i}");
+    }
+    // Empty table: zero batches, zero rows, zero charges mismatch.
+    let (db0, a0, _) = build_db(0, 1);
+    let q = Query::single(a0, vec![SelPred::eq(ColRef::new(a0, 0), 1i64)]);
+    let plan = Optimizer::new(&db0).optimize(&q, IndexSetView::real(&cfg));
+    let v = Executor::new(&db0, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+    let r = RowwiseExecutor::new(&db0, &cfg).execute(&q, &plan, Collect::Rows).unwrap();
+    assert_eq!(v.row_count(), 0);
+    assert_eq!(v.rows, r.rows);
+    assert_eq!(v.result.io, r.result.io);
 }
 
 /// The SQL parser never panics, whatever bytes it is fed.

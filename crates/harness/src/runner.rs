@@ -19,7 +19,7 @@
 use colt_catalog::{ColRef, Database, PhysicalConfig};
 use colt_core::json::Json;
 use colt_core::{ColtConfig, ColtTuner, MaterializationStrategy, Trace};
-use colt_engine::{Eqo, ExecError, Executor, Query};
+use colt_engine::{Collect, Eqo, ExecError, Executor, Query};
 use colt_offline::OfflineSelection;
 
 /// Optimizer charge per what-if probe, in cost units. The prototype's
@@ -255,7 +255,7 @@ impl<'a> Experiment<'a> {
                 };
                 let res = {
                     let s = colt_obs::span("harness.execute");
-                    let r = Executor::new(self.db, &config).execute(q, &plan)?;
+                    let r = Executor::new(self.db, &config).execute(q, &plan, Collect::CountOnly)?.result;
                     s.sim_ms(r.millis);
                     r
                 };
@@ -302,7 +302,7 @@ impl<'a> Experiment<'a> {
             };
             let res = {
                 let s = colt_obs::span("harness.execute");
-                let r = Executor::new(db, &physical).execute(q, &plan)?;
+                let r = Executor::new(db, &physical).execute(q, &plan, Collect::CountOnly)?.result;
                 s.sim_ms(r.millis);
                 r
             };

@@ -156,9 +156,15 @@ pub fn span_sim(name: &'static str, sim_ms: f64) {
 }
 
 /// Open an RAII span guard; its wall-clock duration is recorded when
-/// the guard drops. Inert (no `Instant::now`) when recording is off.
+/// the guard drops, and the span is pushed onto the recorder's flame
+/// stack for folded-stack self-time attribution. Inert (no
+/// `Instant::now`) when recording is off.
 pub fn span(name: &'static str) -> Span {
-    Span { name, start: if is_enabled() { Some(Instant::now()) } else { None } }
+    if !is_enabled() {
+        return Span { name, start: None };
+    }
+    with_recorder(|r| r.flame_enter(name));
+    Span { name, start: Some(Instant::now()) }
 }
 
 /// An open span; see [`span`].
@@ -183,7 +189,10 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(t0) = self.start {
             let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            with_recorder(|r| r.record_span(self.name, ns));
+            with_recorder(|r| {
+                r.record_span(self.name, ns);
+                r.flame_exit(self.name);
+            });
         }
     }
 }
@@ -234,6 +243,18 @@ mod tests {
         assert_eq!(snap.span("s").unwrap().sim_ms, 4.5);
         assert!(snap.span("s").unwrap().wall_ns > 0);
         assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn span_guards_populate_the_flame_accumulator() {
+        install(Recorder::new(Level::Full));
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let snap = take().unwrap().into_snapshot();
+        assert!(snap.flame.contains_key("outer;inner"), "flame: {:?}", snap.flame);
+        assert!(!snap.folded_flame().is_empty());
     }
 
     #[test]

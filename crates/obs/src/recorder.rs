@@ -12,6 +12,7 @@ use crate::event::Event;
 use crate::hist::{Histogram, DURATION_US_BUCKETS, GENERIC_BUCKETS};
 use crate::Level;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Accumulated timing of one named span.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +57,12 @@ pub struct Recorder {
     hists: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<&'static str, SpanStats>,
     events: Vec<Event>,
+    /// Self-time flame accumulator: the live span stack, the instant of
+    /// the last enter/exit transition, and folded-stack self time in
+    /// nanoseconds keyed by `outer;inner;leaf`.
+    flame_stack: Vec<&'static str>,
+    flame_last: Option<Instant>,
+    flame: BTreeMap<String, u64>,
 }
 
 impl Recorder {
@@ -69,6 +76,9 @@ impl Recorder {
             hists: BTreeMap::new(),
             spans: BTreeMap::new(),
             events: Vec::new(),
+            flame_stack: Vec::new(),
+            flame_last: None,
+            flame: BTreeMap::new(),
         }
     }
 
@@ -111,6 +121,39 @@ impl Recorder {
         self.spans.entry(name).or_insert_with(SpanStats::new).sim_ms += sim_ms;
     }
 
+    /// A span guard opened: attribute elapsed self time to the current
+    /// stack, then push the new frame.
+    pub fn flame_enter(&mut self, name: &'static str) {
+        self.flame_tick();
+        self.flame_stack.push(name);
+    }
+
+    /// A span guard dropped: attribute elapsed self time to the current
+    /// stack, then pop the frame. Guards normally drop in LIFO order;
+    /// if one outlives a later sibling, the deepest frame with this
+    /// name is removed so the stack stays consistent.
+    pub fn flame_exit(&mut self, name: &'static str) {
+        self.flame_tick();
+        if self.flame_stack.last() == Some(&name) {
+            self.flame_stack.pop();
+        } else if let Some(pos) = self.flame_stack.iter().rposition(|&f| f == name) {
+            self.flame_stack.remove(pos);
+        }
+    }
+
+    /// Charge the time since the previous transition to whatever stack
+    /// was live across that interval (self time, not inclusive time).
+    fn flame_tick(&mut self) {
+        let now = Instant::now();
+        if let Some(last) = self.flame_last {
+            if !self.flame_stack.is_empty() {
+                let ns = now.duration_since(last).as_nanos().min(u64::MAX as u128) as u64;
+                *self.flame.entry(self.flame_stack.join(";")).or_insert(0) += ns;
+            }
+        }
+        self.flame_last = Some(now);
+    }
+
     /// Retain a structured event.
     pub fn record_event(&mut self, event: Event) {
         self.events.push(event);
@@ -124,6 +167,7 @@ impl Recorder {
             hists: self.hists.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             spans: self.spans.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             events: self.events,
+            flame: self.flame,
         }
     }
 }
@@ -141,6 +185,9 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanStats>,
     /// Retained structured events, in record order.
     pub events: Vec<Event>,
+    /// Folded-stack self time in nanoseconds, keyed by
+    /// `outer;inner;leaf` span paths.
+    pub flame: BTreeMap<String, u64>,
 }
 
 impl Snapshot {
@@ -152,6 +199,7 @@ impl Snapshot {
             && self.hists.is_empty()
             && self.spans.is_empty()
             && self.events.is_empty()
+            && self.flame.is_empty()
     }
 
     /// A counter's value (0 when absent).
@@ -195,6 +243,20 @@ impl Snapshot {
             }
         }
         self.events.extend(other.events.iter().cloned());
+        for (k, v) in &other.flame {
+            *self.flame.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// The flame accumulator as folded-stack lines (`outer;inner;leaf
+    /// <ns>`, one per line, trailing newline when non-empty) — the input
+    /// format of `flamegraph.pl` and `inferno-flamegraph`.
+    pub fn folded_flame(&self) -> String {
+        let mut out = String::new();
+        for (stack, ns) in &self.flame {
+            out.push_str(&format!("{stack} {ns}\n"));
+        }
+        out
     }
 
     /// The retained event stream as JSONL (one event per line, trailing
@@ -315,6 +377,54 @@ mod tests {
         assert_eq!(sa.span("s").unwrap().wall_ns, 3_000);
         let kinds: Vec<&str> = sa.events.iter().map(|e| e.kind).collect();
         assert_eq!(kinds, ["first", "second"]);
+    }
+
+    #[test]
+    fn flame_folds_nested_stacks_with_self_time() {
+        let mut r = Recorder::new(Level::Full);
+        r.flame_enter("outer");
+        r.flame_enter("inner");
+        r.flame_exit("inner");
+        r.flame_exit("outer");
+        let s = r.into_snapshot();
+        // Both the nested path and the outer self-time frame exist; the
+        // actual nanosecond values depend on the wall clock.
+        assert!(s.flame.contains_key("outer;inner"), "flame: {:?}", s.flame);
+        assert!(s.flame.contains_key("outer"), "flame: {:?}", s.flame);
+        let folded = s.folded_flame();
+        for line in folded.lines() {
+            let (stack, ns) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(!stack.is_empty());
+            ns.parse::<u64>().expect("ns field parses");
+        }
+        assert!(folded.ends_with('\n'));
+    }
+
+    #[test]
+    fn flame_exit_tolerates_out_of_order_drops() {
+        let mut r = Recorder::new(Level::Full);
+        r.flame_enter("a");
+        r.flame_enter("b");
+        r.flame_exit("a"); // dropped before its nested sibling
+        r.flame_exit("b");
+        let s = r.into_snapshot();
+        assert!(s.flame.keys().all(|k| !k.is_empty()));
+        // The stack fully unwound: no frame was left behind to pollute
+        // unrelated paths (checked indirectly: no key nests b under b).
+        assert!(!s.flame.contains_key("b;b"));
+    }
+
+    #[test]
+    fn flame_merges_by_summing() {
+        let mut a = Snapshot::default();
+        a.flame.insert("x;y".into(), 10);
+        let mut b = Snapshot::default();
+        b.flame.insert("x;y".into(), 5);
+        b.flame.insert("z".into(), 7);
+        a.merge(&b);
+        assert_eq!(a.flame["x;y"], 15);
+        assert_eq!(a.flame["z"], 7);
+        assert_eq!(a.folded_flame(), "x;y 15\nz 7\n");
     }
 
     #[test]

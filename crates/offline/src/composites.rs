@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn materialized_suggestion_speeds_up_the_workload() {
-        use colt_engine::{Executor, IndexSetView, Optimizer};
+        use colt_engine::{Collect, Executor, IndexSetView, Optimizer};
         let (db, t) = db();
         let a = ColRef::new(t, 0);
         let b = ColRef::new(t, 1);
@@ -193,9 +193,15 @@ mod tests {
         let mut comp_ms = 0.0;
         for q in &w {
             let p1 = opt.optimize(q, IndexSetView::real(&bare));
-            bare_ms += Executor::new(&db, &bare).execute(q, &p1).expect("plan matches query").millis;
+            bare_ms += Executor::new(&db, &bare)
+                .execute(q, &p1, Collect::CountOnly)
+                .expect("plan matches query")
+                .millis();
             let p2 = opt.optimize(q, IndexSetView::real(&with));
-            comp_ms += Executor::new(&db, &with).execute(q, &p2).expect("plan matches query").millis;
+            comp_ms += Executor::new(&db, &with)
+                .execute(q, &p2, Collect::CountOnly)
+                .expect("plan matches query")
+                .millis();
         }
         assert!(
             comp_ms < bare_ms / 5.0,

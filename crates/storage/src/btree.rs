@@ -361,15 +361,36 @@ impl<K: TreeKey> BPlusTreeOf<K> {
 
     /// Point lookup: all row ids whose key equals `key`.
     pub fn lookup(&self, key: &K, io: &mut IoStats) -> Vec<RowId> {
+        let mut out = Vec::new();
+        self.lookup_into(key, &mut out, io);
+        out
+    }
+
+    /// Buffer-reusing form of [`BPlusTreeOf::lookup`]: appends the
+    /// matching row ids to `out` instead of allocating a fresh vector.
+    /// Charges exactly what `lookup` charges, so batch executors that
+    /// probe once per outer row can reuse one buffer without perturbing
+    /// the I/O model.
+    pub fn lookup_into(&self, key: &K, out: &mut Vec<RowId>, io: &mut IoStats) {
         colt_obs::counter("storage.btree.lookups", 1);
-        self.range(Bound::Included(key.clone()), Bound::Included(key.clone()), io)
+        self.range_into(Bound::Included(key.clone()), Bound::Included(key.clone()), out, io);
     }
 
     /// Range scan over `[lo, hi]` bounds. Charges `height` random pages
     /// for the initial descent and one sequential page per further leaf.
     pub fn range(&self, lo: Bound<K>, hi: Bound<K>, io: &mut IoStats) -> Vec<RowId> {
-        colt_obs::counter("storage.btree.ranges", 1);
         let mut out = Vec::new();
+        self.range_into(lo, hi, &mut out, io);
+        out
+    }
+
+    /// Buffer-reusing form of [`BPlusTreeOf::range`]: appends matches to
+    /// `out`. The trailing `cpu_ops` comparison charge covers only the
+    /// row ids appended by *this* call, keeping charges identical to
+    /// `range` regardless of what the buffer already held.
+    pub fn range_into(&self, lo: Bound<K>, hi: Bound<K>, out: &mut Vec<RowId>, io: &mut IoStats) {
+        colt_obs::counter("storage.btree.ranges", 1);
+        let appended_from = out.len();
         let start_key = match &lo {
             Bound::Included(k) | Bound::Excluded(k) => Some((k.clone(), RowId(0))),
             Bound::Unbounded => None,
@@ -402,8 +423,8 @@ impl<K: TreeKey> BPlusTreeOf<K> {
             first = false;
             for (k, rid) in entries {
                 if !in_hi(k) {
-                    io.cpu_ops += out.len() as u64;
-                    return out;
+                    io.cpu_ops += (out.len() - appended_from) as u64;
+                    return;
                 }
                 if in_lo(k) {
                     out.push(*rid);
@@ -414,8 +435,7 @@ impl<K: TreeKey> BPlusTreeOf<K> {
                 None => break,
             }
         }
-        io.cpu_ops += out.len() as u64;
-        out
+        io.cpu_ops += (out.len() - appended_from) as u64;
     }
 
     /// Generalized ordered scan: descend to the first key `>= lo` (or
@@ -608,6 +628,31 @@ mod tests {
         assert_eq!(hits.len(), 50);
         assert_eq!(hits[0], RowId(0));
         assert_eq!(hits[49], RowId(49));
+    }
+
+    #[test]
+    fn into_variants_append_and_charge_identically() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..200 {
+            t.insert(v(i % 40), RowId(i as u32));
+        }
+        // lookup vs lookup_into onto a non-empty buffer.
+        let mut io_a = IoStats::new();
+        let hits = t.lookup(&v(7), &mut io_a);
+        let mut io_b = IoStats::new();
+        let mut buf = vec![RowId(9999)];
+        t.lookup_into(&v(7), &mut buf, &mut io_b);
+        assert_eq!(io_a, io_b, "reused buffer must not change charges");
+        assert_eq!(&buf[1..], &hits[..], "matches append after existing content");
+        assert_eq!(buf[0], RowId(9999));
+        // range vs range_into, including the early-return path.
+        let mut io_a = IoStats::new();
+        let r = t.range(Bound::Included(v(5)), Bound::Excluded(v(9)), &mut io_a);
+        let mut io_b = IoStats::new();
+        let mut buf = r.clone();
+        t.range_into(Bound::Included(v(5)), Bound::Excluded(v(9)), &mut buf, &mut io_b);
+        assert_eq!(io_a, io_b);
+        assert_eq!(buf.len(), 2 * r.len());
     }
 
     #[test]

@@ -75,7 +75,10 @@ fn main() {
         for i in 0..80 {
             let q = dist.sample(db, &mut rng);
             let plan = eqo.optimize(&q, &physical);
-            let result = Executor::new(db, &physical).execute(&q, &plan).expect("plan matches query");
+            let result = Executor::new(db, &physical)
+                .execute(&q, &plan, Collect::CountOnly)
+                .expect("plan matches query")
+                .result;
             let step = tuner.on_query(db, &mut physical, &mut eqo, &q, &plan);
             session_ms += result.millis;
             if i >= 60 {

@@ -36,7 +36,10 @@ fn main() {
     for i in 0..120i64 {
         let q = Query::single(orders, vec![SelPred::eq(customer, i * 37 % 2_000)]);
         let plan = eqo.optimize(&q, &physical);
-        let result = Executor::new(&db, &physical).execute(&q, &plan).expect("plan matches query");
+        let result = Executor::new(&db, &physical)
+            .execute(&q, &plan, Collect::CountOnly)
+            .expect("plan matches query")
+            .result;
         let step = tuner.on_query(&db, &mut physical, &mut eqo, &q, &plan);
 
         if i < 10 {

@@ -39,7 +39,8 @@ fn main() {
         let dist = if i < 200 { &phase_a } else { &phase_b };
         let q = dist.sample(db, &mut rng);
         let plan = eqo.optimize(&q, &physical);
-        let _ = Executor::new(db, &physical).execute(&q, &plan).expect("plan matches query");
+        let _ =
+            Executor::new(db, &physical).execute(&q, &plan, Collect::CountOnly).expect("plan matches query");
         tuner.on_query(db, &mut physical, &mut eqo, &q, &plan);
     }
 

@@ -85,7 +85,9 @@ fn main() {
         let exec = Executor::new(db, &physical);
         let (result, rows) = match &parsed.agg {
             Some(spec) => exec.execute_aggregate(&parsed.query, &plan, spec),
-            None => exec.execute_collect(&parsed.query, &plan),
+            None => exec
+                .execute(&parsed.query, &plan, Collect::Rows)
+                .map(|o| (o.result, o.rows)),
         }
         .expect("plan matches query");
         for r in rows.iter().take(10) {

@@ -77,8 +77,14 @@ fn main() {
     // in *direction* (estimates are statistics-based, execution is real).
     let no_index = PhysicalConfig::new();
     let plan_seq = Optimizer::new(db).optimize(&query, IndexSetView::real(&no_index));
-    let (seq_res, mut rows_seq) = Executor::new(db, &no_index).execute_collect(&query, &plan_seq).expect("plan matches query");
-    let (idx_res, mut rows_idx) = Executor::new(db, &config).execute_collect(&query, &indexed).expect("plan matches query");
+    let seq_out = Executor::new(db, &no_index)
+        .execute(&query, &plan_seq, Collect::Rows)
+        .expect("plan matches query");
+    let idx_out = Executor::new(db, &config)
+        .execute(&query, &indexed, Collect::Rows)
+        .expect("plan matches query");
+    let (seq_res, mut rows_seq) = (seq_out.result, seq_out.rows);
+    let (idx_res, mut rows_idx) = (idx_out.result, idx_out.rows);
     rows_seq.sort();
     rows_idx.sort();
     assert_eq!(rows_seq, rows_idx, "same answer either way");

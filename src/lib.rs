@@ -39,7 +39,7 @@
 //! for i in 0..60i64 {
 //!     let q = Query::single(t, vec![SelPred::eq(col, i * 83 % 5_000)]);
 //!     let plan = eqo.optimize(&q, &physical);
-//!     let _result = Executor::new(&db, &physical).execute(&q, &plan);
+//!     let _result = Executor::new(&db, &physical).execute(&q, &plan, Collect::CountOnly);
 //!     tuner.on_query(&db, &mut physical, &mut eqo, &q, &plan);
 //! }
 //! // COLT noticed the pattern and materialized the index on its own.
@@ -64,7 +64,10 @@ pub mod prelude {
         ColRef, Column, Database, IndexOrigin, PhysicalConfig, TableId, TableSchema,
     };
     pub use colt_core::{ColtConfig, ColtTuner, MaterializationStrategy, Trace};
-    pub use colt_engine::{Eqo, ExecError, Executor, IndexSetView, Optimizer, Plan, Query, SelPred};
+    pub use colt_engine::{
+        Collect, Eqo, ExecError, ExecOutput, Executor, IndexSetView, Optimizer, Plan, Query,
+        SelPred,
+    };
     pub use colt_harness::{Cell, Experiment, ParallelReport, Policy, RunResult};
     pub use colt_storage::{row_from, IoStats, Value, ValueType};
     pub use colt_workload::{generate, Preset, TpchData, DEFAULT_SCALE};

@@ -4,7 +4,7 @@
 //! structural optimum must match the literal exhaustive search.
 
 use colt_repro::catalog::{IndexOrigin, PhysicalConfig};
-use colt_repro::engine::{Eqo, Executor, IndexSetView, Optimizer, Query, SelPred};
+use colt_repro::engine::{Collect, Eqo, Executor, IndexSetView, Optimizer, Query, SelPred};
 use colt_repro::storage::Value;
 use colt_repro::storage::Prng;
 use colt_repro::workload::{generate, presets, stable_distribution};
@@ -33,10 +33,14 @@ fn all_access_paths_agree_on_tpch() {
         if !plan_idx.used_indices().is_empty() {
             index_plans += 1;
         }
-        let (_, mut rows_bare) =
-            Executor::new(db, &bare).execute_collect(&q, &plan_bare).expect("plan matches query");
-        let (_, mut rows_idx) =
-            Executor::new(db, &indexed).execute_collect(&q, &plan_idx).expect("plan matches query");
+        let mut rows_bare = Executor::new(db, &bare)
+            .execute(&q, &plan_bare, Collect::Rows)
+            .expect("plan matches query")
+            .rows;
+        let mut rows_idx = Executor::new(db, &indexed)
+            .execute(&q, &plan_idx, Collect::Rows)
+            .expect("plan matches query")
+            .rows;
         rows_bare.sort();
         rows_idx.sort();
         assert_eq!(rows_bare, rows_idx, "query {q}");
@@ -60,9 +64,10 @@ fn estimates_track_actual_costs() {
     for _ in 0..40 {
         let q = dist.sample(db, &mut rng);
         let plan = opt.optimize(&q, IndexSetView::real(&cfg));
-        let res = Executor::new(db, &cfg).execute(&q, &plan).expect("plan matches query");
+        let res =
+            Executor::new(db, &cfg).execute(&q, &plan, Collect::CountOnly).expect("plan matches query");
         est_total += plan.est_cost();
-        act_total += db.cost.cost_of(&res.io);
+        act_total += db.cost.cost_of(res.io());
     }
     let ratio = est_total / act_total;
     assert!(
@@ -127,8 +132,9 @@ fn prelude_surface() {
     let mut eqo = Eqo::new(&db);
     let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 0), 5i64)]);
     let plan = eqo.optimize(&q, &cfg);
-    let res = Executor::new(&db, &cfg).execute(&q, &plan).expect("plan matches query");
-    assert_eq!(res.row_count, 1);
+    let res =
+        Executor::new(&db, &cfg).execute(&q, &plan, Collect::CountOnly).expect("plan matches query");
+    assert_eq!(res.row_count(), 1);
 }
 
 /// Ingestion while tuning: append rows with index maintenance while
@@ -160,8 +166,10 @@ fn ingestion_while_tuning() {
             let mut eqo = Eqo::new(&db);
             let q = Query::single(t, vec![SelPred::eq(col, (i * 97) % next_id)]);
             let plan = eqo.optimize(&q, &physical);
-            let res = Executor::new(&db, &physical).execute(&q, &plan).expect("plan matches query");
-            assert_eq!(res.row_count, 1, "exactly one match for a key lookup");
+            let res = Executor::new(&db, &physical)
+                .execute(&q, &plan, Collect::CountOnly)
+                .expect("plan matches query");
+            assert_eq!(res.row_count(), 1, "exactly one match for a key lookup");
             tuner.on_query(&db, &mut physical, &mut eqo, &q, &plan);
         }
         for _ in 0..20 {
@@ -189,6 +197,8 @@ fn ingestion_while_tuning() {
     let q = Query::single(t, vec![SelPred::eq(col, next_id - 1)]);
     let plan = eqo.optimize(&q, &physical);
     assert_eq!(plan.used_indices(), vec![col]);
-    let res = Executor::new(&db, &physical).execute(&q, &plan).expect("plan matches query");
-    assert_eq!(res.row_count, 1);
+    let res = Executor::new(&db, &physical)
+        .execute(&q, &plan, Collect::CountOnly)
+        .expect("plan matches query");
+    assert_eq!(res.row_count(), 1);
 }
