@@ -16,6 +16,10 @@ pub enum Tok {
     Punct(char),
     /// A numeric literal (content irrelevant to every lint).
     Num,
+    /// A plain `"…"` string literal, content as written (escapes kept
+    /// raw — the metric-name lints only match escape-free literals).
+    /// Raw/byte strings lex as no token; no lint inspects them.
+    Str(String),
 }
 
 /// A token with its 1-based source line.
@@ -145,19 +149,26 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             '"' => {
-                // String literal with escapes.
+                // String literal with escapes; captured so lints can
+                // validate metric-name / ledger-kind literals.
+                let tok_line = line;
+                let mut content = String::new();
                 bump!();
                 while i < n {
                     if chars[i] == '\\' && i + 1 < n {
+                        content.push(chars[i]);
+                        content.push(chars[i + 1]);
                         bump!();
                         bump!();
                     } else if chars[i] == '"' {
                         bump!();
                         break;
                     } else {
+                        content.push(chars[i]);
                         bump!();
                     }
                 }
+                out.tokens.push(Token { tok: Tok::Str(content), line: tok_line });
             }
             '\'' => {
                 // Char literal or lifetime.
@@ -307,6 +318,14 @@ pub fn ident(t: &Token) -> Option<&str> {
     }
 }
 
+/// Convenience for rules: the content of a plain string literal, if any.
+pub fn str_lit(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +414,14 @@ mod tests {
     fn waiver_inside_string_is_ignored() {
         let lexed = lex(r#"let s = "colt: allow(panic-policy) — nope";"#);
         assert!(lexed.waivers.is_empty());
+    }
+
+    #[test]
+    fn string_literals_are_captured_with_lines() {
+        let lexed = lex("f(\"a.b\");\ng(\"x\\ny\");");
+        let strs: Vec<(&str, u32)> =
+            lexed.tokens.iter().filter_map(|t| str_lit(t).map(|s| (s, t.line))).collect();
+        assert_eq!(strs, [("a.b", 1), ("x\\ny", 2)]);
     }
 
     #[test]

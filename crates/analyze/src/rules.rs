@@ -6,7 +6,7 @@
 //! no parsing — so they are fast, dependency-free, and immune to
 //! comment/string false positives.
 
-use crate::lexer::{ident, Tok, Token};
+use crate::lexer::{ident, str_lit, Tok, Token};
 use crate::SourceFile;
 use std::collections::BTreeSet;
 
@@ -25,6 +25,11 @@ pub enum Lint {
     PanicPolicy,
     /// Ambient randomness or env-dependent behavior in the kernel.
     NondetSeed,
+    /// A metric name literal that breaks the `area.noun[.verb]`
+    /// convention or whose area prefix doesn't match the emitting crate.
+    MetricName,
+    /// A decision-ledger record kind emitted outside its owning crate.
+    LedgerOwner,
     /// Any `unsafe` code (the workspace forbids it).
     UnsafeCode,
     /// A waiver annotation without a justification.
@@ -43,6 +48,8 @@ impl Lint {
             Lint::OutputHygiene,
             Lint::PanicPolicy,
             Lint::NondetSeed,
+            Lint::MetricName,
+            Lint::LedgerOwner,
             Lint::UnsafeCode,
             Lint::BadWaiver,
             Lint::UnusedWaiver,
@@ -58,6 +65,8 @@ impl Lint {
             Lint::OutputHygiene => "output-hygiene",
             Lint::PanicPolicy => "panic-policy",
             Lint::NondetSeed => "nondet-seed",
+            Lint::MetricName => "metric-name",
+            Lint::LedgerOwner => "ledger-owner",
             Lint::UnsafeCode => "unsafe-code",
             Lint::BadWaiver => "bad-waiver",
             Lint::UnusedWaiver => "unused-waiver",
@@ -78,6 +87,8 @@ impl Lint {
             Lint::OutputHygiene => "stdout only in bench bins / harness report; stderr only through the colt-obs sink",
             Lint::PanicPolicy => "no unwrap/expect/panic!/unreachable!/todo! in non-test library code",
             Lint::NondetSeed => "no ambient randomness anywhere; no env reads in the deterministic kernel crates",
+            Lint::MetricName => "span/counter/gauge names must be dot-separated `area.noun[.verb]` with an area prefix owned by the emitting crate",
+            Lint::LedgerOwner => "decision-ledger record kinds may only be emitted from their owning crate",
             Lint::UnsafeCode => "no unsafe code anywhere in the workspace",
             Lint::BadWaiver => "every waiver must carry a justification after the dash",
             Lint::UnusedWaiver => "a waiver that suppresses nothing is an error (it has rotted)",
@@ -124,6 +135,22 @@ replayable. Ambient sources (RandomState, DefaultHasher, thread_rng, from_entrop
 are banned everywhere; reading the environment (std::env::var) is banned inside \
 the deterministic kernel crates (storage, catalog, engine, core, workload, \
 offline) — configuration enters through ColtConfig, not ambient state.",
+            Lint::MetricName => "Counters, spans, and gauges are merged across run cells and \
+rendered into exhibit tables by name, so a malformed or mis-prefixed name silently \
+fragments a series (`tuner.budget.spent` vs `tunr.budget_spent` never aggregate). \
+Every name literal passed to colt_obs::span / counter / gauge / observe must be \
+lowercase dot-separated segments (`area.noun` or `area.noun.verb`), and the area \
+prefix must belong to the emitting crate: storage/catalog/engine name their own \
+crate, `profiler.*`/`organizer.*`/`tuner.*` belong to colt-core, `harness.*` to \
+colt-harness, `bench.*` to colt-bench. Progress events (colt_obs::progress) are \
+human-facing and exempt.",
+            Lint::LedgerOwner => "The decision ledger is the audit trail that explains every \
+index the tuner builds or drops. Each record kind has exactly one owning component \
+(whatif_probe/cluster_assign/knapsack/index_create/index_drop/budget_change all \
+belong to colt-core's tuner stack); a record emitted from anywhere else would \
+forge tuner history, so DecisionRecord::new(<kind>) with a known kind is flagged \
+outside the owning crate, and unknown kinds are flagged everywhere (they would \
+render as unexplained rows in the flight report).",
             Lint::UnsafeCode => "The workspace forbids unsafe code: every library crate carries \
 #![forbid(unsafe_code)] (colt-harness #![deny(unsafe_code)], see its lib.rs). The \
 static check catches the token early and in files the compiler attributes might \
@@ -207,6 +234,54 @@ const HASH_ITER_METHODS: &[&str] = &[
 /// Ambient-randomness identifiers banned workspace-wide.
 const AMBIENT_RANDOM: &[&str] =
     &["RandomState", "DefaultHasher", "thread_rng", "from_entropy", "SipHasher"];
+
+/// colt-obs entry points whose first argument (and any string literal in
+/// the call, e.g. a `match` over access paths) is a merged metric name.
+const METRIC_FNS: &[&str] = &["span", "counter", "gauge", "observe", "span_sim"];
+
+/// Decision-ledger record kinds and the crate that owns each (mirrors
+/// `colt_obs::LEDGER_KINDS`; colt-analyze depends on nothing, and the
+/// obs crate's `every_ledger_kind_names_a_real_crate` test plus the
+/// workspace-clean test keep the two tables honest).
+const LEDGER_KIND_OWNERS: &[(&str, &str)] = &[
+    ("whatif_probe", "core"),
+    ("cluster_assign", "core"),
+    ("knapsack", "core"),
+    ("index_create", "core"),
+    ("index_drop", "core"),
+    ("budget_change", "core"),
+];
+
+/// Metric area prefixes and the crate that owns each.
+fn metric_area_owner(prefix: &str) -> Option<&'static str> {
+    Some(match prefix {
+        "storage" => "storage",
+        "catalog" => "catalog",
+        "engine" => "engine",
+        "profiler" | "organizer" | "tuner" => "core",
+        "workload" => "workload",
+        "offline" => "offline",
+        "harness" => "harness",
+        "bench" => "bench",
+        "obs" => "obs",
+        _ => return None,
+    })
+}
+
+/// Is `name` a well-formed metric name: at least two non-empty
+/// dot-separated segments of `[a-z0-9_]`?
+fn well_formed_metric(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
 
 fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| line >= a && line <= b)
@@ -360,6 +435,92 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
         // unsafe-code
         if id == "unsafe" {
             push(&mut out, line, Lint::UnsafeCode, "unsafe code is forbidden workspace-wide".to_string());
+        }
+
+        // metric-name: every string literal inside a
+        // colt_obs::{span,counter,gauge,observe,span_sim}(…) call is a
+        // merged metric name (the literal may sit inside a `match` over
+        // access paths, so the whole argument list is scanned). The obs
+        // crate itself is exempt: it defines the API and exercises it
+        // with doc-example names.
+        let obs_scope = krate.is_some() && !matches!(krate, Some("obs") | Some("analyze"));
+        if obs_scope
+            && id == "colt_obs"
+            && next == Some(&Tok::Punct(':'))
+            && next2 == Some(&Tok::Punct(':'))
+            && toks
+                .get(i + 3)
+                .and_then(|t| ident(t))
+                .is_some_and(|f| METRIC_FNS.contains(&f))
+            && toks.get(i + 4).map(|t| &t.tok) == Some(&Tok::Punct('('))
+        {
+            let mut j = i + 5;
+            let mut depth = 1usize;
+            while depth > 0 {
+                let Some(t) = toks.get(j) else { break };
+                match &t.tok {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => depth -= 1,
+                    Tok::Str(name) => {
+                        if !well_formed_metric(name) {
+                            push(
+                                &mut out,
+                                t.line,
+                                Lint::MetricName,
+                                format!("metric name `{name}` must be dot-separated lowercase `area.noun[.verb]` segments"),
+                            );
+                        } else {
+                            let area = name.split('.').next().unwrap_or("");
+                            match metric_area_owner(area) {
+                                None => push(
+                                    &mut out,
+                                    t.line,
+                                    Lint::MetricName,
+                                    format!("metric name `{name}` has unknown area prefix `{area}`; use the emitting crate's area"),
+                                ),
+                                Some(owner) if Some(owner) != krate => push(
+                                    &mut out,
+                                    t.line,
+                                    Lint::MetricName,
+                                    format!("metric area `{area}.*` belongs to colt-{owner}; crate colt-{} must not emit `{name}`", krate.unwrap_or("?")),
+                                ),
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+
+        // ledger-owner: DecisionRecord::new(<kind>) with a known kind is
+        // only legal in the kind's owning crate; unknown kinds are
+        // flagged everywhere.
+        if obs_scope
+            && id == "DecisionRecord"
+            && next == Some(&Tok::Punct(':'))
+            && next2 == Some(&Tok::Punct(':'))
+            && toks.get(i + 3).and_then(|t| ident(t)) == Some("new")
+            && toks.get(i + 4).map(|t| &t.tok) == Some(&Tok::Punct('('))
+        {
+            if let Some(kind) = toks.get(i + 5).and_then(str_lit) {
+                match LEDGER_KIND_OWNERS.iter().find(|(k, _)| *k == kind) {
+                    None => push(
+                        &mut out,
+                        line,
+                        Lint::LedgerOwner,
+                        format!("unknown decision-ledger record kind `{kind}`; add it to colt_obs::LEDGER_KINDS (and the analyze owner table) first"),
+                    ),
+                    Some((_, owner)) if Some(*owner) != krate => push(
+                        &mut out,
+                        line,
+                        Lint::LedgerOwner,
+                        format!("record kind `{kind}` is owned by colt-{owner}; emitting it from colt-{} would forge tuner history", krate.unwrap_or("?")),
+                    ),
+                    Some(_) => {}
+                }
+            }
         }
 
         // layering — only identifiers that name an actual workspace

@@ -1,0 +1,7 @@
+//! analyze-fixture: path=crates/harness/src/fixture.rs expect=ledger-owner
+pub fn forge() {
+    // index_create is owned by colt-core's tuner stack.
+    colt_obs::decision(colt_obs::DecisionRecord::new("index_create"));
+    // Unknown kinds are flagged everywhere.
+    colt_obs::decision(colt_obs::DecisionRecord::new("index_ceate"));
+}

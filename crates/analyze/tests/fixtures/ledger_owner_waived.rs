@@ -1,0 +1,5 @@
+//! analyze-fixture: path=crates/harness/src/fixture.rs expect=clean
+pub fn replay() {
+    // colt: allow(ledger-owner) — synthetic record feeding the renderer's golden test helper
+    colt_obs::decision(colt_obs::DecisionRecord::new("index_create"));
+}

@@ -38,8 +38,11 @@ fn measure_once(data: &colt_workload::TpchData) -> (f64, usize) {
     let preset = presets::shifting(data, seed());
     let cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
     // Force span recording regardless of COLT_OBS: Experiment::run
-    // inherits the level of a pre-installed recorder.
-    let prev = colt_obs::install(colt_obs::Recorder::new(colt_obs::Level::Summary));
+    // inherits the level of a pre-installed recorder. The environment
+    // can still raise the level (CI runs the gate with COLT_OBS=full to
+    // assert the flight recorder's overhead stays inside the floor).
+    let level = colt_obs::Level::from_env().max(colt_obs::Level::Summary);
+    let prev = colt_obs::install(colt_obs::Recorder::new(level));
     let result = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run().expect("run failed");
     match prev {
         Some(r) => {

@@ -62,10 +62,15 @@ pub fn build_data() -> TpchData {
 /// object per line) and `<path>.prom` (the Prometheus-style text dump).
 /// When `COLT_OBS_FLAME` is set, additionally write the merged span
 /// stacks as folded-stack lines (`outer;inner;leaf <ns>`) to that path,
-/// ready for `flamegraph.pl` / `inferno-flamegraph`. Does nothing
-/// otherwise. Dump destinations and contents never touch stdout.
+/// ready for `flamegraph.pl` / `inferno-flamegraph`. When
+/// `COLT_OBS_LEDGER` is set, write the merged flight recorder (decision
+/// ledger then per-epoch time series, JSONL) to that path — the dump
+/// holds only deterministic simulated values, so it is byte-identical
+/// at every `COLT_THREADS`. Does nothing otherwise. Dump destinations
+/// and contents never touch stdout.
 pub fn dump_obs(report: &colt_harness::ParallelReport) {
     dump_flame(report);
+    dump_ledger(report);
     let Ok(path) = std::env::var("COLT_OBS_PATH") else { return };
     if path.is_empty() {
         return;
@@ -109,6 +114,28 @@ fn dump_flame(report: &colt_harness::ParallelReport) {
     }
     colt_obs::progress(
         colt_obs::Event::new("obs_flame_dump").field("frames", snap.flame.len()).field("path", path),
+    );
+}
+
+/// Write the merged flight recorder (ledger + time series JSONL) when
+/// `COLT_OBS_LEDGER=<path>` is set.
+fn dump_ledger(report: &colt_harness::ParallelReport) {
+    let Ok(path) = std::env::var("COLT_OBS_LEDGER") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let snap = report.obs();
+    if let Err(e) = std::fs::write(&path, snap.flight_jsonl()) {
+        colt_obs::progress(
+            colt_obs::Event::new("obs_dump_error").field("path", path).field("error", e.to_string()),
+        );
+        return;
+    }
+    colt_obs::progress(
+        colt_obs::Event::new("obs_ledger_dump")
+            .field("decisions", snap.ledger.len() as u64)
+            .field("series_points", snap.series.len() as u64)
+            .field("path", path),
     );
 }
 

@@ -1,0 +1,66 @@
+//! Black-box flight-recorder checks against the real `fig3` binary:
+//! the `COLT_OBS_LEDGER` dump is byte-identical at 1 and 4 worker
+//! threads (the ledger holds only simulated values and the merge is
+//! submission-ordered), and its JSONL parses line by line.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const SCALE: &str = "0.004";
+
+fn run_fig3_with_ledger(threads: &str, ledger_path: &str) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig3"));
+    cmd.env("COLT_SCALE", SCALE)
+        .env("COLT_SEED", "42")
+        .env("COLT_THREADS", threads)
+        .env("COLT_OBS", "full")
+        .env("COLT_OBS_LEDGER", ledger_path)
+        .env_remove("COLT_OBS_PATH");
+    let out = cmd.output().expect("spawn fig3");
+    assert!(
+        out.status.success(),
+        "fig3 (COLT_THREADS={threads}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("colt-ledger-test-{}-{tag}.jsonl", std::process::id()))
+}
+
+#[test]
+fn ledger_dump_is_byte_identical_across_thread_counts() {
+    let p1 = temp_path("t1");
+    let p4 = temp_path("t4");
+    let stdout1 = run_fig3_with_ledger("1", p1.to_str().expect("utf-8 path"));
+    let stdout4 = run_fig3_with_ledger("4", p4.to_str().expect("utf-8 path"));
+    assert_eq!(stdout1, stdout4, "fig3 stdout must not depend on COLT_THREADS");
+
+    let d1 = std::fs::read(&p1).expect("thread-1 ledger dump written");
+    let d4 = std::fs::read(&p4).expect("thread-4 ledger dump written");
+    assert!(!d1.is_empty(), "ledger dump must not be empty");
+    assert_eq!(d1, d4, "COLT_OBS_LEDGER dump must be byte-identical at 1 vs 4 threads");
+
+    // Every line is a JSON object tagged as a decision or series point.
+    let text = String::from_utf8(d1).expect("ledger dump is utf-8");
+    let mut decisions = 0usize;
+    let mut points = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        assert!(
+            line.starts_with("{\"decision\":") || line.starts_with("{\"series_epoch\":"),
+            "line {}: unexpected shape: {line}",
+            i + 1
+        );
+        if line.starts_with("{\"decision\":") {
+            decisions += 1;
+        } else {
+            points += 1;
+        }
+    }
+    assert!(decisions > 0, "a tuned fig3 run must record decisions");
+    assert!(points > 0, "a tuned fig3 run must record series points");
+
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}

@@ -7,7 +7,7 @@
 //! same strict parser that validates run summaries.
 
 use crate::json::Json;
-use colt_obs::{Event, FieldValue, Histogram, Snapshot};
+use colt_obs::{DecisionRecord, Event, FieldValue, Histogram, Snapshot};
 
 /// An event as a JSON value: `{"event": kind, ...fields}` — the same
 /// shape [`Event::jsonl`] prints, built structurally.
@@ -48,8 +48,31 @@ fn histogram_json(h: &Histogram) -> Json {
     ])
 }
 
+/// A decision-ledger record as a JSON value:
+/// `{"decision": kind, "epoch": N, ...fields}` — the same shape
+/// [`DecisionRecord::jsonl`] prints, built structurally.
+pub fn decision_json(record: &DecisionRecord) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("decision".to_string(), Json::Str(record.kind.to_string())),
+        ("epoch".to_string(), Json::UInt(record.epoch)),
+    ];
+    for (k, v) in &record.fields {
+        let j = match v {
+            FieldValue::U64(n) => Json::UInt(*n),
+            FieldValue::I64(n) => Json::Int(*n),
+            FieldValue::F64(f) if f.is_finite() => Json::Float(*f),
+            FieldValue::F64(_) => Json::Null,
+            FieldValue::Str(s) => Json::Str(s.clone()),
+            FieldValue::Bool(b) => Json::Bool(*b),
+        };
+        pairs.push((k.to_string(), j));
+    }
+    Json::Obj(pairs)
+}
+
 /// A full metrics snapshot as one JSON object: counters, gauges,
-/// histograms, span timings, and the retained event stream.
+/// histograms, span timings, the retained event stream, and the flight
+/// recorder (decision ledger + per-epoch time series).
 pub fn snapshot_json(snap: &Snapshot) -> Json {
     let counters =
         Json::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect());
@@ -72,12 +95,37 @@ pub fn snapshot_json(snap: &Snapshot) -> Json {
             .collect(),
     );
     let events = Json::Arr(snap.events.iter().map(event_json).collect());
+    let ledger = Json::Arr(snap.ledger.records().map(decision_json).collect());
+    let series = Json::Arr(
+        snap.series
+            .points()
+            .map(|p| {
+                Json::obj(vec![
+                    ("epoch", Json::UInt(p.epoch)),
+                    (
+                        "counters",
+                        Json::Obj(
+                            p.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect(),
+                        ),
+                    ),
+                    (
+                        "sim_ms",
+                        Json::Obj(
+                            p.sim_ms.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
     Json::obj(vec![
         ("counters", counters),
         ("gauges", gauges),
         ("histograms", hists),
         ("spans", spans),
         ("events", events),
+        ("ledger", ledger),
+        ("series", series),
     ])
 }
 
@@ -120,6 +168,36 @@ mod tests {
             .field("delta", -1i64);
         let parsed = crate::json::parse(&e.jsonl()).expect("jsonl must parse");
         assert_eq!(parsed, event_json(&e));
+    }
+
+    #[test]
+    fn flight_recorder_round_trips_through_parser() {
+        let mut r = Recorder::new(Level::Summary);
+        r.record_decision(
+            DecisionRecord::new("knapsack")
+                .field("chosen", "t0.c0")
+                .field("budget_pages", 34u64)
+                .field("free_value", 1.5),
+        );
+        r.add_counter("engine.op.seq_scan", 4);
+        r.mark_epoch(0);
+        let snap = r.into_snapshot();
+        let text = snapshot_json(&snap).pretty();
+        let back = crate::json::parse(&text).expect("snapshot JSON must parse");
+        let d = back.get("ledger").and_then(|l| l.idx(0)).unwrap();
+        assert_eq!(d.get("decision").and_then(Json::as_str), Some("knapsack"));
+        assert_eq!(d.get("budget_pages").and_then(Json::as_u64), Some(34));
+        let p = back.get("series").and_then(|s| s.idx(0)).unwrap();
+        assert_eq!(p.get("epoch").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            p.get("counters").and_then(|c| c.get("engine.op.seq_scan")).and_then(Json::as_u64),
+            Some(4)
+        );
+        // Structural and textual renderings agree record-for-record.
+        for rec in snap.ledger.records() {
+            let parsed = crate::json::parse(&rec.jsonl()).expect("record jsonl parses");
+            assert_eq!(parsed, decision_json(rec));
+        }
     }
 
     #[test]

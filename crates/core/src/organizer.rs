@@ -233,19 +233,45 @@ impl SelfOrganizer {
         // fluctuate with the query mix, and re-solving the knapsack on
         // every epoch would otherwise thrash between near-tied indices,
         // paying a build each time.
-        let (new_materialized, net_benefit_m): (BTreeSet<ColRef>, f64) =
-            if free_value > keep_value * (1.0 + self.swap_margin) + 1e-9 {
-                (free_chosen.iter().map(|&i| pool[i]).collect(), free_value)
-            } else {
-                let set: BTreeSet<ColRef> =
-                    kept.iter().chain(additions.iter()).map(|&i| pool[i]).collect();
-                (set, keep_value)
-            };
+        let adopted_free = free_value > keep_value * (1.0 + self.swap_margin) + 1e-9;
+        let (new_materialized, net_benefit_m): (BTreeSet<ColRef>, f64) = if adopted_free {
+            (free_chosen.iter().map(|&i| pool[i]).collect(), free_value)
+        } else {
+            let set: BTreeSet<ColRef> =
+                kept.iter().chain(additions.iter()).map(|&i| pool[i]).collect();
+            (set, keep_value)
+        };
 
         let to_create: Vec<ColRef> =
             new_materialized.iter().copied().filter(|c| !online.contains(c)).collect();
         let to_drop: Vec<ColRef> =
             online.iter().copied().filter(|c| !new_materialized.contains(c)).collect();
+
+        let spent_pages: u64 = (0..pool.len())
+            .filter(|i| new_materialized.contains(&pool[*i]))
+            .map(|i| items[i].size)
+            .sum();
+        colt_obs::counter("tuner.budget.spent", spent_pages);
+        if colt_obs::is_enabled() {
+            let candidates = pool
+                .iter()
+                .zip(&items)
+                .map(|(col, it)| format!("{col}:{}:{:.3}", it.size, it.value))
+                .collect::<Vec<_>>()
+                .join("|");
+            let chosen =
+                new_materialized.iter().map(ColRef::to_string).collect::<Vec<_>>().join("|");
+            colt_obs::decision(
+                colt_obs::DecisionRecord::new("knapsack")
+                    .field("candidates", candidates)
+                    .field("chosen", chosen)
+                    .field("budget_pages", self.budget_pages)
+                    .field("spent_pages", spent_pages)
+                    .field("free_value", free_value)
+                    .field("keep_value", keep_value)
+                    .field("adopted", if adopted_free { "free" } else { "keep" }),
+            );
+        }
 
         // --- Hot-set selection from the remaining candidates. ---
         let benefits: Vec<(ColRef, f64)> = profiler

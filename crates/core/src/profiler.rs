@@ -125,6 +125,14 @@ impl Profiler {
         };
         let restricted = query.candidate_columns();
         let used = plan.used_indices();
+        if colt_obs::is_enabled() {
+            colt_obs::decision(
+                colt_obs::DecisionRecord::new("cluster_assign")
+                    .field("cluster", cluster.0)
+                    .field("window_count", self.clusters.get(cluster).window_count())
+                    .field("candidate_columns", restricted.len()),
+            );
+        }
 
         // Track usage of every relevant materialized index — this is
         // free (derived from the plan) and feeds `used_fraction`.
@@ -175,6 +183,16 @@ impl Profiler {
                     .entry((g.col, cluster))
                     .or_insert_with(|| IndexClusterStats::new(version));
                 s.gains.add(g.gain, version);
+                if colt_obs::is_enabled() {
+                    colt_obs::decision(
+                        colt_obs::DecisionRecord::new("whatif_probe")
+                            .field("index", g.col.to_string())
+                            .field("cluster", cluster.0)
+                            .field("gain", g.gain)
+                            .field("budget_used", self.wi_cur + probation.len() as u64)
+                            .field("budget_limit", self.wi_lim),
+                    );
+                }
             }
             self.wi_cur += probation.len() as u64;
         }

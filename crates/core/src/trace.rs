@@ -82,11 +82,28 @@ impl Trace {
         .pretty()
     }
 
+    /// The epoch axis a per-epoch table must span: the trace's closed
+    /// epochs, extended to cover every epoch the flight recorder saw
+    /// (the ledger and time series also record the trailing partial
+    /// epoch — queries after the last boundary — which closes no
+    /// [`EpochRecord`]).
+    pub fn epoch_axis(&self, obs: &colt_obs::Snapshot) -> u64 {
+        let ledger = obs.ledger.max_epoch().map_or(0, |e| e + 1);
+        let series = obs.series.max_epoch().map_or(0, |e| e + 1);
+        (self.epochs.len() as u64).max(ledger).max(series)
+    }
+
     /// Fold a run's span timings into the per-epoch records: each epoch's
     /// JSON gains an `"overhead_wall_ms"` field (the run's total
     /// tuner-side wall time — profiling plus epoch closing — amortized
     /// evenly over the epochs; spans are run-scoped, not epoch-tagged),
     /// and the summary carries the raw per-span totals alongside.
+    ///
+    /// The rows span [`Trace::epoch_axis`]: epochs the flight recorder
+    /// saw but that closed no trace record (the trailing partial epoch,
+    /// or runs shorter than one epoch) appear as explicit zero rows, so
+    /// this table always aligns row-for-row with the ledger's and time
+    /// series' epoch axis.
     pub fn overhead_summary(&self, obs: &colt_obs::Snapshot) -> Json {
         // Top-level tuner spans only: `profiler.profile` covers the
         // per-query work (clustering, crude and what-if profiling are
@@ -94,12 +111,14 @@ impl Trace {
         // (reorganization, knapsack, re-budgeting). Summing nested spans
         // too would double-count.
         let tuner_wall_ms = obs.span_wall_ms("profiler.profile") + obs.span_wall_ms("tuner.epoch");
-        let per_epoch = tuner_wall_ms / self.epochs.len().max(1) as f64;
-        let epochs: Vec<Json> = self
-            .epochs
-            .iter()
-            .map(|e| {
-                let mut v = e.to_json_value();
+        let axis = self.epoch_axis(obs);
+        let per_epoch = tuner_wall_ms / axis.max(1) as f64;
+        let epochs: Vec<Json> = (0..axis)
+            .map(|i| {
+                let mut v = match self.epochs.get(i as usize) {
+                    Some(e) => e.to_json_value(),
+                    None => EpochRecord::zero(i).to_json_value(),
+                };
                 if let Json::Obj(pairs) = &mut v {
                     pairs.push(("overhead_wall_ms".to_string(), Json::Float(per_epoch)));
                 }
@@ -142,6 +161,28 @@ fn colrefs_json(cols: &[ColRef]) -> Json {
 }
 
 impl EpochRecord {
+    /// An explicit zero row for an epoch with no closed trace record
+    /// (used to pad per-epoch tables out to the flight recorder's
+    /// epoch axis).
+    pub fn zero(epoch: u64) -> Self {
+        EpochRecord {
+            epoch,
+            whatif_used: 0,
+            whatif_limit: 0,
+            next_budget: 0,
+            ratio: 0.0,
+            net_benefit_m: 0.0,
+            net_benefit_m_prime: 0.0,
+            materialized: vec![],
+            created: vec![],
+            dropped: vec![],
+            hot: vec![],
+            build_millis: 0.0,
+            candidate_count: 0,
+            cluster_count: 0,
+        }
+    }
+
     /// The record as a JSON value (one element of the trace artifact).
     pub fn to_json_value(&self) -> Json {
         Json::obj(vec![
@@ -196,6 +237,28 @@ mod tests {
         assert_eq!(t.whatif_per_epoch(), vec![20, 5, 0]);
         assert_eq!(t.total_whatif(), 25);
         assert_eq!(t.total_builds(), 3);
+    }
+
+    #[test]
+    fn overhead_summary_pads_to_the_flight_recorder_axis() {
+        let mut t = Trace::new();
+        t.push(record(0, 20, 1));
+        // The flight recorder saw a trailing partial epoch (epoch 1)
+        // that closed no trace record.
+        let mut rec = colt_obs::Recorder::new(colt_obs::Level::Summary);
+        rec.add_counter("engine.op.hash_join", 3);
+        rec.mark_epoch(0);
+        rec.add_counter("engine.op.hash_join", 1);
+        rec.mark_epoch(1);
+        let obs = rec.into_snapshot();
+        assert_eq!(t.epoch_axis(&obs), 2);
+        let summary = t.overhead_summary(&obs);
+        let epochs = summary.get("epochs").and_then(Json::as_array).unwrap();
+        assert_eq!(epochs.len(), 2, "zero row for the partial epoch");
+        assert_eq!(epochs[1].get("epoch").and_then(Json::as_u64), Some(1));
+        assert_eq!(epochs[1].get("whatif_used").and_then(Json::as_u64), Some(0));
+        // Without flight-recorder data the axis is just the trace.
+        assert_eq!(t.epoch_axis(&colt_obs::Snapshot::default()), 1);
     }
 
     #[test]

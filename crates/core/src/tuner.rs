@@ -117,6 +117,11 @@ impl ColtTuner {
         &self.trace
     }
 
+    /// The number of epochs closed so far (the current epoch's index).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The profiler (read access for inspection and experiments).
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
@@ -146,12 +151,18 @@ impl ColtTuner {
             self.close_epoch(db, physical, eqo)
         };
         if !piggy.built.is_empty() {
-            for (col, _) in &piggy.built {
+            for (col, io) in &piggy.built {
                 colt_obs::emit(
                     colt_obs::Event::new("index_create")
                         .field("epoch", self.epoch)
                         .field("index", col.to_string())
                         .field("via", "piggyback"),
+                );
+                colt_obs::decision(
+                    colt_obs::DecisionRecord::new("index_create")
+                        .field("index", col.to_string())
+                        .field("via", "piggyback")
+                        .field("build_millis", db.cost.millis_of(io)),
                 );
             }
             step.build_io.accumulate(&piggy.total_build_io());
@@ -190,11 +201,17 @@ impl ColtTuner {
         }
 
         let build_millis = db.cost.millis_of(&build_io);
-        for (col, _) in &changes.built {
+        for (col, io) in &changes.built {
             colt_obs::emit(
                 colt_obs::Event::new("index_create")
                     .field("epoch", self.epoch)
                     .field("index", col.to_string()),
+            );
+            colt_obs::decision(
+                colt_obs::DecisionRecord::new("index_create")
+                    .field("index", col.to_string())
+                    .field("via", "reorganize")
+                    .field("build_millis", db.cost.millis_of(io)),
             );
         }
         for col in &changes.dropped {
@@ -203,12 +220,26 @@ impl ColtTuner {
                     .field("epoch", self.epoch)
                     .field("index", col.to_string()),
             );
+            colt_obs::decision(
+                colt_obs::DecisionRecord::new("index_drop")
+                    .field("index", col.to_string())
+                    .field("via", "reorganize"),
+            );
         }
         colt_obs::emit(
             colt_obs::Event::new("budget")
                 .field("epoch", self.epoch)
                 .field("next_budget", decision.next_budget)
                 .field("ratio", decision.ratio),
+        );
+        colt_obs::decision(
+            colt_obs::DecisionRecord::new("budget_change")
+                .field("whatif_used", whatif_used)
+                .field("whatif_limit", whatif_limit)
+                .field("next_budget", decision.next_budget)
+                .field("ratio", decision.ratio)
+                .field("net_benefit_m", decision.net_benefit_m)
+                .field("net_benefit_m_prime", decision.net_benefit_m_prime),
         );
         colt_obs::emit(
             colt_obs::Event::new("epoch")
@@ -246,6 +277,11 @@ impl ColtTuner {
         // configuration: entries on tables this epoch touched drop,
         // everything else carries into the next epoch.
         eqo.end_epoch(physical);
+        // Close the epoch in the flight recorder too: the time series
+        // takes this epoch's metric deltas, and later decision records
+        // (piggyback builds, next epoch's probes) stamp epoch + 1 —
+        // matching the `self.epoch` increment below.
+        colt_obs::epoch_mark(self.epoch);
         self.epoch += 1;
 
         TunerStep {

@@ -1,0 +1,298 @@
+//! Exhibit-grade markdown rendering of the flight recorder: the
+//! per-epoch decision timeline, the "why each index exists" audit, and
+//! the per-epoch access-path mix.
+//!
+//! Everything rendered here is deterministic — epochs, page counts,
+//! benefit values, and simulated milliseconds only, never the wall
+//! clock — so the output pastes into EXPERIMENTS.md and diffs cleanly
+//! in CI at any thread count and `COLT_OBS` level.
+
+use crate::runner::RunResult;
+use colt_obs::{DecisionRecord, Snapshot};
+
+/// One parsed entry of a knapsack record's `candidates` field
+/// (`index:size_pages:net_benefit|...`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackCandidate {
+    /// The candidate index, rendered `t<table>.c<column>`.
+    pub index: String,
+    /// Size in budget pages.
+    pub size_pages: u64,
+    /// Net-benefit value the knapsack saw.
+    pub value: f64,
+}
+
+/// Parse a knapsack record's `candidates` field.
+pub fn parse_candidates(record: &DecisionRecord) -> Vec<KnapsackCandidate> {
+    let Some(s) = record.get_str("candidates") else { return Vec::new() };
+    s.split('|')
+        .filter(|part| !part.is_empty())
+        .filter_map(|part| {
+            let mut it = part.splitn(3, ':');
+            Some(KnapsackCandidate {
+                index: it.next()?.to_string(),
+                size_pages: it.next()?.parse().ok()?,
+                value: it.next()?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// The knapsack record that explains a create/drop at `epoch`: the last
+/// knapsack solved at or before that epoch (piggybacked builds execute
+/// epochs after the solve that chose them).
+pub fn explaining_knapsack(obs: &Snapshot, epoch: u64) -> Option<&DecisionRecord> {
+    obs.ledger.of_kind("knapsack").filter(|r| r.epoch <= epoch).last()
+}
+
+/// Render the per-epoch decision timeline: one row per epoch on the
+/// flight recorder's axis, folding the trace's reorganization outcome
+/// with the ledger's knapsack solve.
+pub fn render_decision_timeline(run: &RunResult) -> String {
+    let axis = run.trace.epoch_axis(&run.obs);
+    let mut out = String::from("## Per-epoch decision timeline\n\n");
+    out.push_str(
+        "| epoch | what-if used/limit | next budget | ratio | knapsack spent/budget (pages) | created | dropped | build (sim ms) |\n",
+    );
+    out.push_str("|------:|-------------------:|------------:|------:|------------------------------:|---|---|---:|\n");
+    for e in 0..axis {
+        let (used, limit, next_budget, ratio, created, dropped, build) =
+            match run.trace.epochs.get(e as usize) {
+                Some(r) => (
+                    r.whatif_used,
+                    r.whatif_limit,
+                    r.next_budget,
+                    r.ratio,
+                    join_cols(&r.created),
+                    join_cols(&r.dropped),
+                    r.build_millis,
+                ),
+                None => (0, 0, 0, 0.0, String::new(), String::new(), 0.0),
+            };
+        let knapsack = run
+            .obs
+            .ledger
+            .of_kind("knapsack")
+            .filter(|r| r.epoch == e)
+            .last()
+            .map(|r| {
+                format!(
+                    "{}/{}",
+                    r.get_u64("spent_pages").unwrap_or(0),
+                    r.get_u64("budget_pages").unwrap_or(0)
+                )
+            })
+            .unwrap_or_else(|| "—".to_string());
+        out.push_str(&format!(
+            "| {e} | {used}/{limit} | {next_budget} | {ratio:.3} | {knapsack} | {} | {} | {build:.1} |\n",
+            dash_if_empty(&created),
+            dash_if_empty(&dropped),
+        ));
+    }
+    out
+}
+
+/// Render the "why each index exists" audit: every `index_create` /
+/// `index_drop` ledger record joined to the knapsack solve that
+/// produced it, with the index's size and net-benefit value as the
+/// knapsack saw them.
+pub fn render_index_explanations(run: &RunResult) -> String {
+    let mut out = String::from("## Why each index exists\n\n");
+    out.push_str(
+        "| epoch | action | index | via | build (sim ms) | knapsack value | size (pages) | budget spent/total |\n",
+    );
+    out.push_str("|------:|---|---|---|---:|---:|---:|---:|\n");
+    let mut rows = 0usize;
+    for rec in run.obs.ledger.records() {
+        let action = match rec.kind {
+            "index_create" => "create",
+            "index_drop" => "drop",
+            _ => continue,
+        };
+        rows += 1;
+        let index = rec.get_str("index").unwrap_or("?");
+        let via = rec.get_str("via").unwrap_or("?");
+        let build = rec.get_f64("build_millis").unwrap_or(0.0);
+        let (value, size, spent) = match explaining_knapsack(&run.obs, rec.epoch) {
+            Some(k) => {
+                let cand = parse_candidates(k).into_iter().find(|c| c.index == index);
+                (
+                    cand.as_ref().map_or("—".to_string(), |c| format!("{:.3}", c.value)),
+                    cand.as_ref().map_or("—".to_string(), |c| c.size_pages.to_string()),
+                    format!(
+                        "{}/{}",
+                        k.get_u64("spent_pages").unwrap_or(0),
+                        k.get_u64("budget_pages").unwrap_or(0)
+                    ),
+                )
+            }
+            None => ("—".to_string(), "—".to_string(), "—".to_string()),
+        };
+        out.push_str(&format!(
+            "| {} | {action} | {index} | {via} | {build:.1} | {value} | {size} | {spent} |\n",
+            rec.epoch
+        ));
+    }
+    if rows == 0 {
+        out.push_str("| — | — | — | — | — | — | — | — |\n");
+    }
+    out
+}
+
+/// The access-path counters the mix exhibit tracks, in column order.
+pub const ACCESS_PATH_COUNTERS: &[(&str, &str)] = &[
+    ("engine.op.seq_scan", "seq scan"),
+    ("engine.op.index_scan", "index scan"),
+    ("engine.op.composite_scan", "composite scan"),
+    ("engine.op.index_nl_join", "index NL join"),
+    ("engine.op.hash_join", "hash join"),
+    ("storage.btree.lookups", "btree lookups"),
+    ("storage.heap.scans", "heap scans"),
+];
+
+/// Render the per-epoch access-path mix from the time series: how the
+/// executor's operator choices shift as the tuner materializes indices.
+pub fn render_access_path_mix(title: &str, obs: &Snapshot) -> String {
+    let mut out = format!("## Access-path mix per epoch — {title}\n\n");
+    out.push_str("| epoch |");
+    for (_, label) in ACCESS_PATH_COUNTERS {
+        out.push_str(&format!(" {label} |"));
+    }
+    out.push('\n');
+    out.push_str("|------:|");
+    for _ in ACCESS_PATH_COUNTERS {
+        out.push_str("---:|");
+    }
+    out.push('\n');
+    let axis = obs.series.max_epoch().map_or(0, |e| e + 1);
+    for e in 0..axis {
+        out.push_str(&format!("| {e} |"));
+        for (name, _) in ACCESS_PATH_COUNTERS {
+            out.push_str(&format!(" {} |", obs.series.counter_at(e, name)));
+        }
+        out.push('\n');
+    }
+    if axis == 0 {
+        out.push_str("| — |");
+        for _ in ACCESS_PATH_COUNTERS {
+            out.push_str(" — |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn join_cols(cols: &[colt_catalog::ColRef]) -> String {
+    cols.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+}
+
+fn dash_if_empty(s: &str) -> &str {
+    if s.is_empty() {
+        "—"
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Policy, QuerySample};
+    use colt_core::trace::EpochRecord;
+    use colt_core::Trace;
+    use colt_obs::{Level, Recorder};
+
+    fn run_with(trace: Trace, obs: Snapshot) -> RunResult {
+        RunResult {
+            policy: Policy::None,
+            samples: vec![QuerySample { exec_millis: 1.0, tuning_millis: 0.0, rows: 0 }],
+            trace,
+            final_indices: Vec::new(),
+            offline: None,
+            profiled_indices: 0,
+            obs,
+        }
+    }
+
+    fn recorder_with_decisions() -> Snapshot {
+        let mut r = Recorder::new(Level::Summary);
+        r.record_decision(
+            DecisionRecord::new("knapsack")
+                .field("candidates", "t0.c0:40:123.456|t0.c1:60:-2.000")
+                .field("chosen", "t0.c0")
+                .field("budget_pages", 100u64)
+                .field("spent_pages", 40u64),
+        );
+        r.record_decision(
+            DecisionRecord::new("index_create")
+                .field("index", "t0.c0")
+                .field("via", "reorganize")
+                .field("build_millis", 12.5),
+        );
+        r.add_counter("engine.op.seq_scan", 5);
+        r.mark_epoch(0);
+        r.add_counter("engine.op.index_scan", 7);
+        r.mark_epoch(1);
+        r.into_snapshot()
+    }
+
+    #[test]
+    fn candidates_round_trip() {
+        let rec = DecisionRecord::new("knapsack")
+            .field("candidates", "t0.c0:40:123.456|t0.c1:60:-2.000");
+        let c = parse_candidates(&rec);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].index, "t0.c0");
+        assert_eq!(c[0].size_pages, 40);
+        assert!((c[0].value - 123.456).abs() < 1e-9);
+        assert!((c[1].value + 2.0).abs() < 1e-9);
+        assert!(parse_candidates(&DecisionRecord::new("knapsack")).is_empty());
+    }
+
+    #[test]
+    fn timeline_pads_to_the_recorder_axis() {
+        let mut trace = Trace::new();
+        trace.push(EpochRecord::zero(0));
+        let s = render_decision_timeline(&run_with(trace, recorder_with_decisions()));
+        // The series saw epochs 0 and 1; the trace closed only epoch 0,
+        // so the table has a zero row for epoch 1.
+        assert!(s.contains("| 0 | 0/0 | 0 | 0.000 | 40/100 |"), "timeline:\n{s}");
+        assert!(s.contains("| 1 | 0/0 | 0 | 0.000 | — |"), "timeline:\n{s}");
+    }
+
+    #[test]
+    fn explanations_join_creates_to_their_knapsack() {
+        let s = render_index_explanations(&run_with(Trace::new(), recorder_with_decisions()));
+        assert!(
+            s.contains("| 0 | create | t0.c0 | reorganize | 12.5 | 123.456 | 40 | 40/100 |"),
+            "explanations:\n{s}"
+        );
+    }
+
+    #[test]
+    fn explanations_render_a_placeholder_row_when_empty() {
+        let s = render_index_explanations(&run_with(Trace::new(), Snapshot::default()));
+        assert!(s.contains("| — | — | — | — | — | — | — | — |"));
+    }
+
+    #[test]
+    fn access_path_mix_reads_the_series() {
+        let s = render_access_path_mix("COLT", &recorder_with_decisions());
+        assert!(s.contains("| 0 | 5 | 0 |"), "mix:\n{s}");
+        assert!(s.contains("| 1 | 0 | 7 |"), "mix:\n{s}");
+        let empty = render_access_path_mix("NONE", &Snapshot::default());
+        assert!(empty.contains("| — |"));
+    }
+
+    #[test]
+    fn explaining_knapsack_takes_the_latest_at_or_before() {
+        let mut r = Recorder::new(Level::Summary);
+        r.record_decision(DecisionRecord::new("knapsack").field("spent_pages", 1u64));
+        r.add_counter("c.n", 1);
+        r.mark_epoch(0);
+        r.record_decision(DecisionRecord::new("knapsack").field("spent_pages", 2u64));
+        let obs = r.into_snapshot();
+        assert_eq!(explaining_knapsack(&obs, 0).unwrap().get_u64("spent_pages"), Some(1));
+        assert_eq!(explaining_knapsack(&obs, 5).unwrap().get_u64("spent_pages"), Some(2));
+    }
+}

@@ -19,12 +19,17 @@
 // that.
 #![deny(unsafe_code)]
 
+pub mod flight;
 pub mod metrics;
 pub mod multiclient;
 pub mod parallel;
 pub mod report;
 pub mod runner;
 
+pub use flight::{
+    explaining_knapsack, parse_candidates, render_access_path_mix, render_decision_timeline,
+    render_index_explanations, KnapsackCandidate, ACCESS_PATH_COUNTERS,
+};
 pub use metrics::{adaptation_latency, budget_utilization, convergence_point};
 pub use multiclient::{interleave, split_round_robin};
 pub use parallel::{default_threads, run_cells, run_cells_default, Cell, CellResult, ParallelReport};

@@ -262,6 +262,9 @@ impl<'a> Experiment<'a> {
                 Ok(QuerySample { exec_millis: res.millis, tuning_millis: 0.0, rows: res.row_count })
             })
             .collect::<Result<Vec<_>, ExecError>>()?;
+        // Untuned runs close no epochs; flush the whole run into one
+        // flight-recorder point so op-mix exhibits can still read it.
+        colt_obs::epoch_mark(0);
         Ok(RunResult {
             policy,
             samples,
@@ -329,6 +332,11 @@ impl<'a> Experiment<'a> {
                 rows: res.row_count,
             });
         }
+
+        // Flush the trailing partial epoch (queries after the last
+        // boundary, plus the boundary query's tune charge, which lands
+        // after the tuner's own mark) into the flight recorder.
+        colt_obs::epoch_mark(tuner.epoch());
 
         Ok(RunResult {
             policy: Policy::Colt(colt_config, strategy),

@@ -122,7 +122,7 @@ impl Event {
     }
 }
 
-fn write_json_value(out: &mut String, v: &FieldValue) {
+pub(crate) fn write_json_value(out: &mut String, v: &FieldValue) {
     match v {
         FieldValue::U64(n) => out.push_str(&n.to_string()),
         FieldValue::I64(n) => out.push_str(&n.to_string()),
@@ -145,7 +145,7 @@ fn format_float(f: f64) -> String {
     }
 }
 
-fn write_json_str(out: &mut String, s: &str) {
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

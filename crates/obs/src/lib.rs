@@ -39,10 +39,12 @@
 
 pub mod event;
 pub mod hist;
+pub mod ledger;
 pub mod recorder;
 
 pub use event::{Event, FieldValue};
 pub use hist::{Histogram, DURATION_US_BUCKETS, GENERIC_BUCKETS};
+pub use ledger::{DecisionLedger, DecisionRecord, EpochPoint, TimeSeries, LEDGER_KINDS};
 pub use recorder::{Recorder, Snapshot, SpanStats};
 
 use std::cell::{Cell, RefCell};
@@ -197,6 +199,23 @@ impl Drop for Span {
     }
 }
 
+/// Append a decision record to the installed recorder's flight-recorder
+/// ledger; the record is stamped with the recorder's current epoch.
+/// Sites that build non-trivial field sets should guard with
+/// [`is_enabled`] to skip the construction cost when recording is off.
+pub fn decision(record: DecisionRecord) {
+    with_recorder(|r| r.record_decision(record));
+}
+
+/// Close epoch `epoch` in the installed recorder's flight recorder:
+/// push the per-epoch metric deltas into the time series and stamp
+/// subsequent decisions with `epoch + 1`. Call once per closed epoch
+/// (the tuner does) plus once at run end to flush the trailing partial
+/// epoch.
+pub fn epoch_mark(epoch: u64) {
+    with_recorder(|r| r.mark_epoch(epoch));
+}
+
 /// Emit a structured event: retained by the installed recorder, and
 /// printed to stderr as JSONL at [`Level::Full`].
 pub fn emit(event: Event) {
@@ -279,7 +298,23 @@ mod tests {
         drop(span("s"));
         emit(Event::new("e"));
         progress(Event::new("p"));
+        decision(DecisionRecord::new("knapsack"));
+        epoch_mark(0);
         assert!(take().is_none());
+    }
+
+    #[test]
+    fn flight_recorder_records_through_the_thread_local() {
+        install(Recorder::new(Level::Summary));
+        decision(DecisionRecord::new("knapsack").field("spent_pages", 3u64));
+        counter("c", 1);
+        epoch_mark(0);
+        decision(DecisionRecord::new("index_create"));
+        let snap = take().unwrap().into_snapshot();
+        let records: Vec<(u64, &str)> = snap.ledger.records().map(|d| (d.epoch, d.kind)).collect();
+        assert_eq!(records, [(0, "knapsack"), (1, "index_create")]);
+        assert_eq!(snap.series.len(), 1);
+        assert_eq!(snap.series.counter_at(0, "c"), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::event::Event;
 use crate::hist::{Histogram, DURATION_US_BUCKETS, GENERIC_BUCKETS};
+use crate::ledger::{DecisionLedger, DecisionRecord, EpochPoint, TimeSeries};
 use crate::Level;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -63,6 +64,15 @@ pub struct Recorder {
     flame_stack: Vec<&'static str>,
     flame_last: Option<Instant>,
     flame: BTreeMap<String, u64>,
+    /// Flight recorder: the decision ledger, the per-epoch time series,
+    /// the epoch stamped onto incoming decisions, and the metric
+    /// baselines the next [`Recorder::mark_epoch`] diffs against.
+    ledger: DecisionLedger,
+    series: TimeSeries,
+    epoch: u64,
+    series_counter_base: BTreeMap<&'static str, u64>,
+    series_hist_base: BTreeMap<&'static str, u64>,
+    series_sim_base: BTreeMap<&'static str, f64>,
 }
 
 impl Recorder {
@@ -79,7 +89,28 @@ impl Recorder {
             flame_stack: Vec::new(),
             flame_last: None,
             flame: BTreeMap::new(),
+            ledger: DecisionLedger::default(),
+            series: TimeSeries::default(),
+            epoch: 0,
+            series_counter_base: BTreeMap::new(),
+            series_hist_base: BTreeMap::new(),
+            series_sim_base: BTreeMap::new(),
         }
+    }
+
+    /// Replace the decision ledger's capacity (testing hook for
+    /// eviction behavior; the default bound is
+    /// [`crate::ledger::DEFAULT_LEDGER_CAPACITY`]).
+    pub fn with_ledger_capacity(mut self, capacity: usize) -> Self {
+        self.ledger = DecisionLedger::new(capacity);
+        self
+    }
+
+    /// Replace the time series' capacity (testing hook; the default
+    /// bound is [`crate::ledger::DEFAULT_SERIES_CAPACITY`]).
+    pub fn with_series_capacity(mut self, capacity: usize) -> Self {
+        self.series = TimeSeries::new(capacity);
+        self
     }
 
     /// A recorder at the level selected by the `COLT_OBS` environment
@@ -159,6 +190,56 @@ impl Recorder {
         self.events.push(event);
     }
 
+    /// Append a decision record to the ledger, stamping it with the
+    /// recorder's current epoch.
+    pub fn record_decision(&mut self, mut record: DecisionRecord) {
+        record.epoch = self.epoch;
+        self.ledger.push(record);
+    }
+
+    /// The epoch the next decision record will be stamped with.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Close epoch `epoch` in the flight recorder: snapshot every
+    /// counter/histogram/span-sim delta since the previous mark into a
+    /// time-series point (skipped when all deltas are zero), advance
+    /// the baselines, and stamp subsequent decisions with `epoch + 1`.
+    pub fn mark_epoch(&mut self, epoch: u64) {
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        for (&name, &v) in &self.counters {
+            let base = self.series_counter_base.get(name).copied().unwrap_or(0);
+            if v > base {
+                counters.push((name.to_string(), v - base));
+            }
+        }
+        for (&name, hist) in &self.hists {
+            let v = hist.count();
+            let base = self.series_hist_base.get(name).copied().unwrap_or(0);
+            if v > base {
+                counters.push((format!("{name}.count"), v - base));
+            }
+        }
+        counters.sort();
+        let mut sim_ms: Vec<(String, f64)> = Vec::new();
+        for (&name, stats) in &self.spans {
+            let base = self.series_sim_base.get(name).copied().unwrap_or(0.0);
+            if stats.sim_ms != base {
+                sim_ms.push((name.to_string(), stats.sim_ms - base));
+            }
+        }
+        sim_ms.sort_by(|a, b| a.0.cmp(&b.0));
+        let point = EpochPoint { epoch, counters, sim_ms };
+        if !point.is_zero() {
+            self.series.push(point);
+        }
+        self.series_counter_base = self.counters.clone();
+        self.series_hist_base = self.hists.iter().map(|(&k, h)| (k, h.count())).collect();
+        self.series_sim_base = self.spans.iter().map(|(&k, s)| (k, s.sim_ms)).collect();
+        self.epoch = epoch + 1;
+    }
+
     /// Freeze the recorder into a snapshot.
     pub fn into_snapshot(self) -> Snapshot {
         Snapshot {
@@ -168,6 +249,8 @@ impl Recorder {
             spans: self.spans.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             events: self.events,
             flame: self.flame,
+            ledger: self.ledger,
+            series: self.series,
         }
     }
 }
@@ -188,6 +271,10 @@ pub struct Snapshot {
     /// Folded-stack self time in nanoseconds, keyed by
     /// `outer;inner;leaf` span paths.
     pub flame: BTreeMap<String, u64>,
+    /// The flight recorder's decision ledger.
+    pub ledger: DecisionLedger,
+    /// The flight recorder's per-epoch time series.
+    pub series: TimeSeries,
 }
 
 impl Snapshot {
@@ -200,6 +287,8 @@ impl Snapshot {
             && self.spans.is_empty()
             && self.events.is_empty()
             && self.flame.is_empty()
+            && self.ledger.is_empty()
+            && self.series.is_empty()
     }
 
     /// A counter's value (0 when absent).
@@ -246,6 +335,20 @@ impl Snapshot {
         for (k, v) in &other.flame {
             *self.flame.entry(k.clone()).or_insert(0) += v;
         }
+        self.ledger.merge(&other.ledger);
+        self.series.merge(&other.series);
+    }
+
+    /// The flight recorder as JSONL: every ledger record, then every
+    /// time-series point (the two line shapes are distinguished by
+    /// their leading `"decision"` / `"series_epoch"` key). This is the
+    /// `COLT_OBS_LEDGER` dump format; it contains only deterministic
+    /// simulated values, so it is byte-identical across `COLT_OBS`
+    /// levels and `COLT_THREADS` counts.
+    pub fn flight_jsonl(&self) -> String {
+        let mut out = self.ledger.jsonl();
+        out.push_str(&self.series.jsonl());
+        out
     }
 
     /// The flame accumulator as folded-stack lines (`outer;inner;leaf
@@ -425,6 +528,82 @@ mod tests {
         assert_eq!(a.flame["x;y"], 15);
         assert_eq!(a.flame["z"], 7);
         assert_eq!(a.folded_flame(), "x;y 15\nz 7\n");
+    }
+
+    #[test]
+    fn decisions_are_stamped_with_the_current_epoch() {
+        let mut r = Recorder::new(Level::Summary);
+        r.record_decision(crate::DecisionRecord::new("knapsack"));
+        r.add_counter("a.b", 1);
+        r.mark_epoch(0);
+        r.record_decision(crate::DecisionRecord::new("index_create"));
+        assert_eq!(r.current_epoch(), 1);
+        let s = r.into_snapshot();
+        let epochs: Vec<(u64, &str)> = s.ledger.records().map(|d| (d.epoch, d.kind)).collect();
+        assert_eq!(epochs, [(0, "knapsack"), (1, "index_create")]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn mark_epoch_snapshots_deltas_and_advances_baselines() {
+        let mut r = Recorder::new(Level::Summary);
+        r.add_counter("a.b", 3);
+        r.observe("h.v", 1.0);
+        r.record_span_sim("s.t", 2.5);
+        r.mark_epoch(0);
+        r.add_counter("a.b", 2);
+        r.mark_epoch(1);
+        r.mark_epoch(2); // all-zero delta: no point is pushed
+        let s = r.into_snapshot();
+        assert_eq!(s.series.len(), 2);
+        let points: Vec<&crate::EpochPoint> = s.series.points().collect();
+        assert_eq!(points[0].epoch, 0);
+        assert_eq!(points[0].counter("a.b"), 3);
+        assert_eq!(points[0].counter("h.v.count"), 1);
+        assert_eq!(points[0].sim("s.t"), 2.5);
+        assert_eq!(points[1].epoch, 1);
+        assert_eq!(points[1].counter("a.b"), 2);
+        assert_eq!(points[1].counter("h.v.count"), 0);
+        assert_eq!(points[1].sim("s.t"), 0.0);
+        assert_eq!(s.series.max_epoch(), Some(1));
+    }
+
+    #[test]
+    fn flight_jsonl_merges_deterministically() {
+        let mut a = Recorder::new(Level::Summary);
+        a.record_decision(crate::DecisionRecord::new("knapsack").field("spent_pages", 4u64));
+        a.add_counter("c.n", 1);
+        a.mark_epoch(0);
+        let mut b = Recorder::new(Level::Summary);
+        b.record_decision(crate::DecisionRecord::new("budget_change").field("next", 9u64));
+        b.add_counter("c.n", 2);
+        b.mark_epoch(0);
+        let mut merged = a.into_snapshot();
+        merged.merge(&b.into_snapshot());
+        assert_eq!(
+            merged.flight_jsonl(),
+            "{\"decision\":\"knapsack\",\"epoch\":0,\"spent_pages\":4}\n\
+             {\"decision\":\"budget_change\",\"epoch\":0,\"next\":9}\n\
+             {\"series_epoch\":0,\"counters\":{\"c.n\":1},\"sim_ms\":{}}\n\
+             {\"series_epoch\":0,\"counters\":{\"c.n\":2},\"sim_ms\":{}}\n"
+        );
+        assert_eq!(merged.series.counter_at(0, "c.n"), 3);
+    }
+
+    #[test]
+    fn capacity_hooks_bound_the_rings() {
+        let mut r = Recorder::new(Level::Summary).with_ledger_capacity(2).with_series_capacity(1);
+        for i in 0..4u64 {
+            r.record_decision(crate::DecisionRecord::new("whatif_probe").field("i", i));
+            r.add_counter("c.n", 1);
+            r.mark_epoch(i);
+        }
+        let s = r.into_snapshot();
+        assert_eq!(s.ledger.len(), 2);
+        assert_eq!(s.ledger.evicted(), 2);
+        assert_eq!(s.series.len(), 1);
+        assert_eq!(s.series.evicted(), 3);
+        assert_eq!(s.series.points().next().unwrap().epoch, 3);
     }
 
     #[test]

@@ -128,7 +128,11 @@ fn overhead_summary_folds_spans_into_epochs() {
     let tuner_ms = v.get("tuner_wall_ms").and_then(Json::as_f64).expect("tuner_wall_ms");
     assert!(tuner_ms > 0.0);
     let epochs = v.get("epochs").and_then(Json::as_array).expect("epochs");
-    assert_eq!(epochs.len(), run.trace.epochs.len());
+    // The table spans the flight recorder's epoch axis: every closed
+    // trace epoch, plus explicit zero rows for any trailing partial
+    // epoch the ledger/time series saw.
+    assert_eq!(epochs.len() as u64, run.trace.epoch_axis(&run.obs));
+    assert!(epochs.len() >= run.trace.epochs.len());
     assert!(!epochs.is_empty(), "the stable preset closes at least one epoch");
     for e in epochs {
         let oh = e.get("overhead_wall_ms").and_then(Json::as_f64).expect("overhead field");
