@@ -173,18 +173,27 @@ pub fn lex(src: &str) -> Lexed {
             '\'' => {
                 // Char literal or lifetime.
                 if i + 1 < n && chars[i + 1] == '\\' {
-                    // '\n', '\u{..}', … — scan to the closing quote.
+                    // '\n', '\u{..}', … — scan to the closing quote. The
+                    // third bump (past the escaped character) is guarded:
+                    // a file truncated at `'\` must not index past EOF.
                     bump!();
                     bump!();
-                    bump!();
+                    if i < n {
+                        bump!();
+                    }
                     while i < n && chars[i] != '\'' {
                         bump!();
                     }
                     if i < n {
                         bump!();
                     }
-                } else if i + 2 < n && is_ident_start(chars[i + 1]) && chars[i + 2] != '\'' {
-                    // Lifetime: 'a, 'static — no closing quote.
+                } else if i + 1 < n
+                    && is_ident_start(chars[i + 1])
+                    && (i + 2 >= n || chars[i + 2] != '\'')
+                {
+                    // Lifetime: 'a, 'static — no closing quote. The EOF
+                    // arm matters: `<'a` at end of input is a lifetime,
+                    // not an unterminated char literal.
                     bump!();
                     while i < n && is_ident_cont(chars[i]) {
                         bump!();
@@ -262,8 +271,10 @@ fn raw_string_ahead(chars: &[char], i: usize) -> bool {
 /// returning the index just past it.
 fn skip_raw_or_byte(chars: &[char], mut i: usize, line: &mut u32) -> usize {
     let n = chars.len();
+    let mut raw = chars[i] == 'r';
     i += 1; // past r or b
     if i < n && chars[i] == 'r' {
+        raw = true;
         i += 1; // br
     }
     if i < n && chars[i] == '\'' {
@@ -287,11 +298,20 @@ fn skip_raw_or_byte(chars: &[char], mut i: usize, line: &mut u32) -> usize {
     }
     if i < n && chars[i] == '"' {
         i += 1;
-        // Scan to `"` followed by `hashes` hash marks; raw strings have
-        // no escapes.
+        // Scan to `"` followed by `hashes` hash marks. Raw strings have
+        // no escapes, but plain byte strings (`b"…"`) do — an escaped
+        // `\"` there must not close the literal, or every token after
+        // it desynchronizes.
         'outer: while i < n {
             if chars[i] == '\n' {
                 *line += 1;
+            }
+            if !raw && chars[i] == '\\' && i + 1 < n {
+                if chars[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i += 2;
+                continue;
             }
             if chars[i] == '"' {
                 let mut k = 0usize;
@@ -427,6 +447,47 @@ mod tests {
     #[test]
     fn raw_ident_lexes_as_plain() {
         assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn lifetime_at_eof_is_not_a_char_literal() {
+        // A file truncated right after a lifetime must still lex the
+        // tokens before it and terminate cleanly.
+        let ids = idents("use t; struct S<'a");
+        assert_eq!(ids, ["use", "t", "struct", "S"].map(String::from));
+        // And the escaped-char prefix of a truncated literal must not
+        // index past EOF.
+        let _ = lex("let c = '\\");
+        let _ = lex("'");
+    }
+
+    #[test]
+    fn byte_string_escapes_do_not_desync() {
+        // Before the fix, `\"` closed the byte string early and the
+        // rest of the file lexed shifted by one string boundary.
+        let ids = idents(r#"let s = b"a\"Instant"; end"#);
+        assert!(!ids.contains(&"Instant".to_string()), "leaked from byte string: {ids:?}");
+        assert!(ids.contains(&"end".to_string()), "tokens after the literal lost: {ids:?}");
+    }
+
+    #[test]
+    fn multi_hash_raw_string_with_inner_guard() {
+        // `"#` inside an `r##"…"##` literal is content, not a closer.
+        let ids = idents(r####"let s = r##"quote "# inside"##; end"####);
+        assert!(!ids.contains(&"inside".to_string()));
+        assert!(ids.contains(&"end".to_string()));
+    }
+
+    #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        let ids = idents("a /* 1 /* 2 /* 3 Instant */ 2 */ 1 */ b");
+        assert_eq!(ids, ["a", "b"]);
+        // Unterminated at EOF: no hang, and waivers inside are still
+        // collected so a truncated file fails loudly on the lint, not
+        // silently on the lexer.
+        let lexed = lex("x /* colt: allow(panic-policy) — truncated");
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].lint, "panic-policy");
     }
 
     #[test]

@@ -26,14 +26,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod lexer;
+pub mod manifest;
 pub mod rules;
+pub mod syntax;
 
 pub use lexer::{Lexed, Waiver};
+pub use manifest::Manifest;
 pub use rules::{Kind, Lint, Violation};
+pub use syntax::SyntaxIndex;
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// One classified, lexed source file.
 #[derive(Debug)]
@@ -48,6 +54,20 @@ pub struct SourceFile {
     pub lexed: Lexed,
     /// `#[cfg(test)]` line regions.
     pub test_regions: Vec<(u32, u32)>,
+    /// Item structure, block tree, and early-exit edges.
+    pub syntax: SyntaxIndex,
+}
+
+/// One waiver annotation found in non-test code (the unit the waiver
+/// budget counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Waived lint name, as written.
+    pub lint: String,
 }
 
 /// Classify a workspace-relative path into (crate, kind).
@@ -79,16 +99,38 @@ pub fn load_source(rel: &str, src: &str) -> SourceFile {
     let (crate_name, kind) = classify(rel);
     let lexed = lexer::lex(src);
     let test_regions = rules::test_regions(&lexed.tokens);
-    SourceFile { rel: rel.to_string(), crate_name, kind, lexed, test_regions }
+    let syntax = SyntaxIndex::build(&lexed.tokens);
+    SourceFile { rel: rel.to_string(), crate_name, kind, lexed, test_regions, syntax }
 }
 
 /// Analyze one file (rules + waiver application) — the unit the fixture
 /// corpus exercises. `rel` decides crate and kind, so fixtures can
-/// impersonate any location (e.g. `crates/core/src/x.rs`).
+/// impersonate any location (e.g. `crates/core/src/x.rs`). Uses the
+/// embedded workspace manifest.
 pub fn analyze_source(rel: &str, src: &str) -> Vec<Violation> {
+    analyze_source_with(rel, src, &Manifest::embedded())
+}
+
+/// [`analyze_source`] against an explicit manifest.
+pub fn analyze_source_with(rel: &str, src: &str, manifest: &Manifest) -> Vec<Violation> {
     let file = load_source(rel, src);
-    let raw = rules::check_file(&file);
+    let raw = rules::check_file(&file, manifest);
     apply_waivers(&file, raw)
+}
+
+/// The waiver annotations in one file that count against the budget:
+/// everything outside test code (test-region waivers are exempt from
+/// unused-waiver and never suppress anything the budget cares about).
+fn waiver_sites(file: &SourceFile) -> Vec<WaiverSite> {
+    if file.kind == Kind::Test {
+        return Vec::new();
+    }
+    file.lexed
+        .waivers
+        .iter()
+        .filter(|w| !file.test_regions.iter().any(|&(a, b)| w.line >= a && w.line <= b))
+        .map(|w| WaiverSite { file: file.rel.clone(), line: w.line, lint: w.lint.clone() })
+        .collect()
 }
 
 /// Apply the file's waivers to its raw violations: suppress matches,
@@ -148,6 +190,15 @@ pub struct Report {
     pub files_scanned: usize,
     /// Violations after waiver application, sorted by file/line.
     pub violations: Vec<Violation>,
+    /// Non-test waiver annotations (the waiver budget's input).
+    pub waivers: Vec<WaiverSite>,
+    /// Files served from the content-hash cache.
+    pub cache_hits: usize,
+    /// Files analyzed fresh.
+    pub cache_misses: usize,
+    /// Wall-clock scan time (colt-analyze is on the wall-clock
+    /// allowlist; this never reaches a diffed artifact).
+    pub elapsed_ms: u128,
 }
 
 impl Report {
@@ -218,6 +269,107 @@ impl Report {
             if viols.is_empty() { String::new() } else { format!("\n    {}\n  ", viols.join(",\n    ")) }
         )
     }
+
+    /// One line of scan telemetry for the CI log: timing plus cache
+    /// hit rate (only meaningful after a cached scan).
+    pub fn render_timing(&self) -> String {
+        format!(
+            "colt-analyze: scan took {} ms (cache: {} hit / {} analyzed)\n",
+            self.elapsed_ms, self.cache_hits, self.cache_misses
+        )
+    }
+
+    /// The per-lint waiver budget table and whether any cap is
+    /// exceeded. Caps come from `[waiver-budget]` in the manifest;
+    /// unlisted lints cap at zero.
+    pub fn render_waivers(&self, manifest: &Manifest) -> (String, bool) {
+        let mut counts: Vec<(String, Vec<&WaiverSite>)> = Vec::new();
+        for w in &self.waivers {
+            match counts.iter_mut().find(|(l, _)| *l == w.lint) {
+                Some((_, sites)) => sites.push(w),
+                None => counts.push((w.lint.clone(), vec![w])),
+            }
+        }
+        counts.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("## Waiver budget\n\n");
+        out.push_str(&format!("{:<18} {:>7} {:>5} {:>9}\n", "lint", "waivers", "cap", "headroom"));
+        let mut over = false;
+        for (lint, sites) in &counts {
+            let cap = manifest.waiver_cap(lint);
+            let n = sites.len() as u64;
+            let status = if n > cap {
+                over = true;
+                "OVER".to_string()
+            } else {
+                (cap - n).to_string()
+            };
+            out.push_str(&format!("{lint:<18} {n:>7} {cap:>5} {status:>9}\n"));
+            if n > cap {
+                for s in sites {
+                    out.push_str(&format!("    over-cap site: {}:{}\n", s.file, s.line));
+                }
+            }
+        }
+        // Caps for lints that currently have no waivers at all are
+        // stale headroom: surface them so they get ratcheted to zero.
+        for (lint, cap) in &manifest.waiver_budget {
+            if *cap > 0 && !counts.iter().any(|(l, _)| l == lint) {
+                out.push_str(&format!(
+                    "{lint:<18} {0:>7} {cap:>5} {cap:>9}  (cap is stale: ratchet to 0)\n",
+                    0
+                ));
+            }
+        }
+        out.push_str(&format!("{:<18} {:>7}\n", "total", self.waivers.len()));
+        (out, over)
+    }
+
+    /// Minimal SARIF 2.1.0 document (one run, one result per
+    /// violation) for CI code-scanning upload.
+    pub fn to_sarif(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut o = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => o.push_str("\\\""),
+                    '\\' => o.push_str("\\\\"),
+                    '\n' => o.push_str("\\n"),
+                    '\t' => o.push_str("\\t"),
+                    c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => o.push(c),
+                }
+            }
+            o
+        }
+        let rules: Vec<String> = Lint::all()
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                    l.name(),
+                    esc(l.summary())
+                )
+            })
+            .collect();
+        let results: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                    v.lint.name(),
+                    esc(&v.message),
+                    esc(&v.file),
+                    v.line
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [{{\n    \"tool\": {{\"driver\": {{\"name\": \"colt-analyze\", \"informationUri\": \"https://example.invalid/colt\", \"rules\": [{}]}}}},\n    \"results\": [{}]\n  }}]\n}}\n",
+            rules.join(", "),
+            results.join(", ")
+        )
+    }
 }
 
 /// Paths (relative, `/`-separated) never scanned: build output, VCS
@@ -255,20 +407,65 @@ fn rel_of(root: &Path, path: &Path) -> String {
 }
 
 /// Scan the workspace rooted at `root` and run every rule over every
-/// `.rs` file.
+/// `.rs` file. Uncached (the form other crates' test suites call);
+/// the CLI uses [`check_workspace_cached`].
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let manifest =
+        Manifest::load(root).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    scan_workspace(root, &manifest, false)
+}
+
+/// Scan with the content-hash incremental cache under `target/`:
+/// unchanged files (same content hash, same manifest + rules revision)
+/// are served from the previous scan's results. Returns the governing
+/// manifest so callers can render the waiver budget.
+pub fn check_workspace_cached(root: &Path, use_cache: bool) -> io::Result<(Report, Manifest)> {
+    let manifest =
+        Manifest::load(root).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let report = scan_workspace(root, &manifest, use_cache)?;
+    Ok((report, manifest))
+}
+
+fn scan_workspace(root: &Path, manifest: &Manifest, use_cache: bool) -> io::Result<Report> {
+    let start = Instant::now();
     let mut files = Vec::new();
     walk(root, root, &mut files)?;
+    let cache_path = cache::cache_path(root);
+    let key = cache::cache_key(manifest);
+    let old = if use_cache { cache::load(&cache_path, key) } else { None };
+    let old = old.unwrap_or_default();
+    let mut fresh: Vec<(String, cache::Entry)> = Vec::new();
     let mut report = Report::default();
     for path in files {
         let rel = rel_of(root, &path);
         let src = std::fs::read_to_string(&path)?;
+        let hash = cache::fnv1a(src.as_bytes());
         report.files_scanned += 1;
-        report.violations.extend(analyze_source(&rel, &src));
+        let entry = match old.get(&rel).filter(|e| e.hash == hash) {
+            Some(hit) => {
+                report.cache_hits += 1;
+                hit.clone()
+            }
+            None => {
+                report.cache_misses += 1;
+                let file = load_source(&rel, &src);
+                let raw = rules::check_file(&file, manifest);
+                let violations = apply_waivers(&file, raw);
+                cache::Entry { hash, violations, waivers: waiver_sites(&file) }
+            }
+        };
+        report.violations.extend(entry.violations.iter().cloned());
+        report.waivers.extend(entry.waivers.iter().cloned());
+        fresh.push((rel, entry));
+    }
+    if use_cache {
+        // Best-effort: a read-only target dir must not fail the scan.
+        let _ = cache::store(&cache_path, key, &fresh);
     }
     report
         .violations
         .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    report.elapsed_ms = start.elapsed().as_millis();
     Ok(report)
 }
 
@@ -379,6 +576,7 @@ mod tests {
                 lint: Lint::WallClock,
                 message: "msg with \"quotes\"".into(),
             }],
+            ..Report::default()
         };
         let j = r.to_json();
         assert!(j.contains("\"files_scanned\": 2"));

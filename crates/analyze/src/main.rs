@@ -1,7 +1,8 @@
 //! CLI for the workspace invariant checker.
 //!
 //! ```text
-//! colt-analyze --check [--json] [--root <path>]   # scan; exit 1 on violations
+//! colt-analyze --check [--json] [--root <path>] [--waivers]
+//!              [--sarif <path>] [--github] [--no-cache]
 //! colt-analyze --list                             # lint catalogue
 //! colt-analyze --explain <lint>                   # long-form description
 //! ```
@@ -15,7 +16,8 @@ const USAGE: &str = "\
 colt-analyze: workspace invariant checker
 
 USAGE:
-    colt-analyze --check [--json] [--root <path>]
+    colt-analyze --check [--json] [--root <path>] [--waivers]
+                 [--sarif <path>] [--github] [--no-cache]
     colt-analyze --list
     colt-analyze --explain <lint-name>
 
@@ -24,16 +26,34 @@ MODES:
                 violations as `file:line: lint-name: message`.
                 Exit code 0 if clean, 1 if violations were found.
     --json      With --check: emit the JSON summary instead of text.
+    --waivers   With --check: also print the per-lint waiver budget
+                table and fail (exit 1) when any [waiver-budget] cap
+                from colt-analyze.toml is exceeded.
+    --sarif     With --check: also write a SARIF 2.1.0 document to the
+                given path (for CI code-scanning upload).
+    --github    With --check: also emit GitHub `::error` workflow
+                annotations for each violation.
+    --no-cache  With --check: skip the content-hash incremental cache
+                under target/ (a cold scan).
     --root      Override the workspace root (default: inferred from the
                 crate's own location).
     --list      Print the lint catalogue (name + one-line summary).
     --explain   Print the long-form description of one lint.
 ";
 
+/// Escape a value for a GitHub workflow-command message.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<&str> = None;
     let mut json = false;
+    let mut waivers = false;
+    let mut github = false;
+    let mut no_cache = false;
+    let mut sarif: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut explain_target: Option<String> = None;
 
@@ -54,6 +74,19 @@ fn main() -> ExitCode {
                 }
             }
             "--json" => json = true,
+            "--waivers" => waivers = true,
+            "--github" => github = true,
+            "--no-cache" => no_cache = true,
+            "--sarif" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => sarif = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --sarif requires a path\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -79,7 +112,7 @@ fn main() -> ExitCode {
     match mode {
         Some("list") => {
             for lint in Lint::all() {
-                println!("{:<16} {}", lint.name(), lint.summary());
+                println!("{:<18} {}", lint.name(), lint.summary());
             }
             ExitCode::SUCCESS
         }
@@ -98,14 +131,39 @@ fn main() -> ExitCode {
         }
         Some("check") => {
             let root = root.unwrap_or_else(colt_analyze::workspace_root);
-            match colt_analyze::check_workspace(&root) {
-                Ok(report) => {
+            match colt_analyze::check_workspace_cached(&root, !no_cache) {
+                Ok((report, manifest)) => {
                     if json {
                         println!("{}", report.to_json());
                     } else {
                         print!("{}", report.render());
+                        println!("{}", report.render_timing());
                     }
-                    if report.is_clean() {
+                    if let Some(sarif_path) = &sarif {
+                        if let Err(e) = std::fs::write(sarif_path, report.to_sarif()) {
+                            eprintln!("error: writing SARIF to {}: {e}", sarif_path.display());
+                            return ExitCode::from(2);
+                        }
+                        eprintln!("sarif: wrote {}", sarif_path.display());
+                    }
+                    if github {
+                        for v in &report.violations {
+                            println!(
+                                "::error file={},line={},title=colt-analyze {}::{}",
+                                v.file,
+                                v.line,
+                                v.lint.name(),
+                                gh_escape(&v.message)
+                            );
+                        }
+                    }
+                    let mut over_budget = false;
+                    if waivers {
+                        let (table, over) = report.render_waivers(&manifest);
+                        print!("{table}");
+                        over_budget = over;
+                    }
+                    if report.is_clean() && !over_budget {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::FAILURE

@@ -1,12 +1,17 @@
 //! The lint catalogue and per-file rule checks.
 //!
 //! Each lint enforces one workspace contract (see DESIGN.md, "Static
-//! analysis & invariants"). Rules work on the token stream of
-//! [`crate::lexer::lex`] — identifier- and punctuation-level matching,
-//! no parsing — so they are fast, dependency-free, and immune to
-//! comment/string false positives.
+//! analysis & invariants"). Token-level rules match identifiers and
+//! punctuation straight off [`crate::lexer::lex`]'s stream; the
+//! flow-sensitive rules (span-pairing, charge-coverage, module-dag,
+//! decision-kind) additionally consult the per-file
+//! [`crate::syntax::SyntaxIndex`] and the workspace
+//! [`crate::manifest::Manifest`]. Either way the pass stays fast,
+//! dependency-free, and immune to comment/string false positives.
 
 use crate::lexer::{ident, str_lit, Tok, Token};
+use crate::manifest::Manifest;
+use crate::syntax::ExitKind;
 use crate::SourceFile;
 use std::collections::BTreeSet;
 
@@ -30,6 +35,17 @@ pub enum Lint {
     MetricName,
     /// A decision-ledger record kind emitted outside its owning crate.
     LedgerOwner,
+    /// A `colt_obs::span` guard that is discarded or whose `.sim_ms()`
+    /// can be skipped by an early exit.
+    SpanPairing,
+    /// A public colt-storage fn that touches page state without
+    /// charging `IoStats` (and is not on the manifest allowlist).
+    ChargeCoverage,
+    /// An intra-crate `use crate::…` edge that violates the module
+    /// order declared in `colt-analyze.toml`.
+    ModuleDag,
+    /// A renderer file that fails to name every decision-ledger kind.
+    DecisionKind,
     /// Any `unsafe` code (the workspace forbids it).
     UnsafeCode,
     /// A waiver annotation without a justification.
@@ -50,6 +66,10 @@ impl Lint {
             Lint::NondetSeed,
             Lint::MetricName,
             Lint::LedgerOwner,
+            Lint::SpanPairing,
+            Lint::ChargeCoverage,
+            Lint::ModuleDag,
+            Lint::DecisionKind,
             Lint::UnsafeCode,
             Lint::BadWaiver,
             Lint::UnusedWaiver,
@@ -67,6 +87,10 @@ impl Lint {
             Lint::NondetSeed => "nondet-seed",
             Lint::MetricName => "metric-name",
             Lint::LedgerOwner => "ledger-owner",
+            Lint::SpanPairing => "span-pairing",
+            Lint::ChargeCoverage => "charge-coverage",
+            Lint::ModuleDag => "module-dag",
+            Lint::DecisionKind => "decision-kind",
             Lint::UnsafeCode => "unsafe-code",
             Lint::BadWaiver => "bad-waiver",
             Lint::UnusedWaiver => "unused-waiver",
@@ -89,6 +113,10 @@ impl Lint {
             Lint::NondetSeed => "no ambient randomness anywhere; no env reads in the deterministic kernel crates",
             Lint::MetricName => "span/counter/gauge names must be dot-separated `area.noun[.verb]` with an area prefix owned by the emitting crate",
             Lint::LedgerOwner => "decision-ledger record kinds may only be emitted from their owning crate",
+            Lint::SpanPairing => "a colt_obs::span guard must be bound (not `_`) and reach its .sim_ms() on every path",
+            Lint::ChargeCoverage => "public colt-storage fns touching heap/btree page state must charge IoStats or be allowlisted",
+            Lint::ModuleDag => "intra-crate `use crate::…` edges must follow the module order in colt-analyze.toml",
+            Lint::DecisionKind => "renderer files must name every decision-ledger kind (no silently dropped records)",
             Lint::UnsafeCode => "no unsafe code anywhere in the workspace",
             Lint::BadWaiver => "every waiver must carry a justification after the dash",
             Lint::UnusedWaiver => "a waiver that suppresses nothing is an error (it has rotted)",
@@ -163,6 +191,36 @@ violation is acceptable.",
 the stale annotation then silently licenses a future violation. A waiver that \
 suppresses no violation is itself reported, so the waiver set always matches the \
 real exception set.",
+            Lint::SpanPairing => "A colt_obs::span guard is the unit of both wall-time and \
+simulated-cost attribution: the RAII drop records wall time, and an explicit \
+.sim_ms(…) call charges simulated cost. Binding the guard to `_` drops it on the \
+same statement (the span covers nothing), and a return/break/continue between the \
+binding and its .sim_ms(…) silently loses the simulated charge on that path. The \
+`?` operator is exempt: error paths carry no simulated cost by design, and the \
+RAII drop still records wall time. Guards that never call .sim_ms(…) are \
+wall-time-only and are fine as long as they are bound to a named (or `_`-prefixed) \
+binding.",
+            Lint::ChargeCoverage => "The paper's cost model is enforced by IoStats page \
+charging: every heap or B+ tree page touched must be charged, or simulated cost \
+drifts from the physical design the tuner reasons about. Any public colt-storage \
+fn whose body reaches page state (the heap's `rows`, the tree's `arena`, or the \
+page walkers descend/leftmost_leaf) must either take/construct an IoStats or be \
+listed in colt-analyze.toml's [charge-coverage] uncharged allowlist — a reviewed, \
+documented inventory of zero-I/O accessors — so vectorized fast paths like \
+scan_batches/lookup_into cannot silently skip charging.",
+            Lint::ModuleDag => "The inter-crate layering lint stops at crate boundaries; \
+inside a crate, modules can still tangle into cycles (batch ↔ executor was real). \
+colt-analyze.toml declares each crate's [modules.<crate>] order and this lint \
+flags any `use crate::<m>` or inline `crate::<m>::…` path that points at a module \
+later in (or missing from) the order. lib.rs, main.rs, bins, and test code are \
+exempt: the DAG governs the library's internal structure, not its public facade.",
+            Lint::DecisionKind => "The flight recorder is only as trustworthy as its \
+renderers: a DecisionRecord kind that obs_export's serializer or the report \
+renderer does not know is silently dropped from exhibits, which is how audit \
+trails rot. Files listed under [decision-kinds] renderers must mention every kind \
+in colt_obs::LEDGER_KINDS as a string literal (a match arm, schema row, or table \
+entry); adding a kind to the ledger forces the renderers to handle it in the same \
+change.",
         }
     }
 }
@@ -340,7 +398,7 @@ pub fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
 }
 
 /// Run every rule over one file, producing raw (pre-waiver) violations.
-pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+pub fn check_file(file: &SourceFile, manifest: &Manifest) -> Vec<Violation> {
     let mut out = Vec::new();
     let toks = &file.lexed.tokens;
     let test = |line: u32| file.kind == Kind::Test || in_regions(&file.test_regions, line);
@@ -670,7 +728,312 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
             }
         }
     }
+
+    // --- flow-sensitive rules (syntax index + manifest) ---
+    check_span_pairing(file, &mut out);
+    check_charge_coverage(file, manifest, &mut out);
+    check_module_dag(file, manifest, &mut out);
+    check_decision_kinds(file, manifest, &mut out);
     out
+}
+
+/// Does the token sequence at `i` spell `colt_obs::span(`?
+fn span_call_at(toks: &[Token], i: usize) -> bool {
+    ident(&toks[i]) == Some("colt_obs")
+        && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && toks.get(i + 3).and_then(ident) == Some("span")
+        && toks.get(i + 4).map(|t| &t.tok) == Some(&Tok::Punct('('))
+}
+
+/// span-pairing: every `colt_obs::span(…)` guard must be bound to a
+/// named binding, and any `.sim_ms(…)` on that binding must be
+/// reachable on every non-`?` path from the binding.
+fn check_span_pairing(file: &SourceFile, out: &mut Vec<Violation>) {
+    let krate = file.crate_name.as_deref();
+    if !matches!(krate, Some(k) if !matches!(k, "obs" | "analyze")) {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    let ix = &file.syntax;
+    let test = |line: u32| file.kind == Kind::Test || in_regions(&file.test_regions, line);
+    for i in 0..toks.len() {
+        if !span_call_at(toks, i) || test(toks[i].line) {
+            continue;
+        }
+        let line = toks[i].line;
+        let metric = toks.get(i + 5).and_then(str_lit).unwrap_or("…");
+        let prev = i.checked_sub(1).map(|p| &toks[p].tok);
+        // `let _ = colt_obs::span(…)` / `_ = colt_obs::span(…)`: the
+        // guard drops before the statement ends.
+        if prev == Some(&Tok::Punct('='))
+            && i >= 2
+            && ident(&toks[i - 2]) == Some("_")
+        {
+            out.push(Violation {
+                file: file.rel.clone(),
+                line,
+                lint: Lint::SpanPairing,
+                message: format!("span guard for `{metric}` is bound to `_` and drops immediately; bind `let _span = …` so the span covers its block"),
+            });
+            continue;
+        }
+        // Statement-position call whose guard is never bound:
+        // `colt_obs::span(…);`.
+        if matches!(prev, None | Some(Tok::Punct(';')) | Some(Tok::Punct('{')) | Some(Tok::Punct('}'))) {
+            let mut j = i + 5;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match toks.get(j).map(|t| &t.tok) {
+                    Some(Tok::Punct('(')) => depth += 1,
+                    Some(Tok::Punct(')')) => depth -= 1,
+                    None => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct(';')) {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line,
+                    lint: Lint::SpanPairing,
+                    message: format!("span guard for `{metric}` is dropped at the end of its own statement; bind `let _span = …` so the span covers its block"),
+                });
+            }
+            continue;
+        }
+        // `let <name> = colt_obs::span(…)`: if the guard later calls
+        // `.sim_ms(…)`, no return/break/continue may leave the binding
+        // block in between (`?` is exempt: error paths carry no
+        // simulated cost, and the RAII drop still records wall time).
+        let (Some(&Tok::Punct('=')), true) = (prev, i >= 3) else { continue };
+        let Some(name) = ident(&toks[i - 2]) else { continue };
+        if ident(&toks[i - 3]) != Some("let") && ident(&toks[i - 3]) != Some("mut") {
+            continue;
+        }
+        let block = ix.block_at(i);
+        let block_close = ix.blocks.get(block).map_or(toks.len(), |b| b.close);
+        let mut last_sim: Option<usize> = None;
+        let mut j = i + 5;
+        while j + 3 < toks.len().min(block_close) {
+            if ident(&toks[j]) == Some(name)
+                && toks[j + 1].tok == Tok::Punct('.')
+                && ident(&toks[j + 2]) == Some("sim_ms")
+                && toks[j + 3].tok == Tok::Punct('(')
+                && ix.within(ix.block_at(j), block)
+            {
+                last_sim = Some(j);
+            }
+            j += 1;
+        }
+        let Some(last_sim) = last_sim else { continue };
+        for e in &ix.exits {
+            if e.token <= i || e.token >= last_sim || test(toks[e.token].line) {
+                continue;
+            }
+            if matches!(e.kind, ExitKind::Return | ExitKind::Break | ExitKind::Continue)
+                && ix.escapes(e, block)
+            {
+                let kw = match e.kind {
+                    ExitKind::Return => "return",
+                    ExitKind::Break => "break",
+                    _ => "continue",
+                };
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: toks[e.token].line,
+                    lint: Lint::SpanPairing,
+                    message: format!("`{kw}` escapes between span guard `{name}` (`{metric}`, line {line}) and its `.sim_ms(…)`; the simulated charge is lost on this path"),
+                });
+            }
+        }
+    }
+}
+
+/// Heap/btree state fields whose element access means pages are read.
+const PAGE_STATE_FIELDS: &[&str] = &["rows", "arena"];
+
+/// Accessors on those fields that read elements (metadata like `len` /
+/// `is_empty` and build-side `push` are not page reads).
+const PAGE_STATE_ACCESSORS: &[&str] = &[
+    "get", "get_mut", "iter", "iter_mut", "chunks", "chunks_exact", "windows", "first", "last",
+    "binary_search", "binary_search_by", "binary_search_by_key",
+];
+
+/// Private page walkers whose callers must be charging.
+const PAGE_WALKERS: &[&str] = &["descend", "leftmost_leaf"];
+
+/// charge-coverage: public colt-storage fns that reach page state must
+/// take or construct an `IoStats`, or be allowlisted in the manifest.
+fn check_charge_coverage(file: &SourceFile, manifest: &Manifest, out: &mut Vec<Violation>) {
+    if file.crate_name.as_deref() != Some("storage") || file.kind != Kind::Lib {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    let ix = &file.syntax;
+    let test = |line: u32| in_regions(&file.test_regions, line);
+    for f in &ix.fns {
+        let Some(body) = f.body else { continue };
+        if !f.is_pub || test(f.line) {
+            continue;
+        }
+        let key = match &f.owner {
+            Some(o) => format!("{o}::{}", f.name),
+            None => f.name.clone(),
+        };
+        if manifest.uncharged.contains(&key) || manifest.uncharged.contains(&f.name) {
+            continue;
+        }
+        let (open, close) = (ix.blocks[body].open, ix.blocks[body].close);
+        let mut touched: Option<&str> = None;
+        let mut charged = false;
+        // The signature (fn keyword to body open) can declare the
+        // IoStats parameter; the body can construct one locally.
+        for j in f.token..close.min(toks.len()) {
+            let Some(id) = ident(&toks[j]) else { continue };
+            if id == "IoStats" {
+                charged = true;
+            }
+            if j <= open {
+                continue; // the rest are body-only triggers
+            }
+            let prev_dot = j >= 1 && toks[j - 1].tok == Tok::Punct('.');
+            let next = toks.get(j + 1).map(|t| &t.tok);
+            if PAGE_STATE_FIELDS.contains(&id) && prev_dot {
+                let elem_access = next == Some(&Tok::Punct('['))
+                    || (next == Some(&Tok::Punct('.'))
+                        && toks
+                            .get(j + 2)
+                            .and_then(ident)
+                            .is_some_and(|m| PAGE_STATE_ACCESSORS.contains(&m)));
+                if elem_access {
+                    touched = touched.or(Some(id));
+                }
+            }
+            if PAGE_WALKERS.contains(&id) && next == Some(&Tok::Punct('(')) {
+                touched = touched.or(Some(id));
+            }
+        }
+        if let (Some(what), false) = (touched, charged) {
+            out.push(Violation {
+                file: file.rel.clone(),
+                line: f.line,
+                lint: Lint::ChargeCoverage,
+                message: format!("pub fn `{key}` reaches page state (`{what}`) without an IoStats charge; charge io or add it to [charge-coverage] uncharged in colt-analyze.toml"),
+            });
+        }
+    }
+}
+
+/// module-dag: intra-crate `crate::<module>` edges must point at
+/// earlier modules in the crate's declared order.
+fn check_module_dag(file: &SourceFile, manifest: &Manifest, out: &mut Vec<Violation>) {
+    let Some(krate) = file.crate_name.as_deref() else { return };
+    let Some(order) = manifest.module_order.get(krate) else { return };
+    if file.kind != Kind::Lib {
+        return;
+    }
+    let prefix = format!("crates/{krate}/src/");
+    let Some(module) = file
+        .rel
+        .strip_prefix(&prefix)
+        .and_then(|m| m.strip_suffix(".rs"))
+        .filter(|m| !m.contains('/') && *m != "lib")
+    else {
+        return;
+    };
+    let test = |line: u32| in_regions(&file.test_regions, line);
+    // Collect edges from expanded use trees and inline `crate::m::…`
+    // paths (deduplicated: use decls appear in both sources).
+    let mut edges: BTreeSet<(String, u32)> = BTreeSet::new();
+    for u in &file.syntax.uses {
+        if test(u.line) {
+            continue;
+        }
+        for p in &u.paths {
+            if let Some(first) = p.strip_prefix("crate::").and_then(|r| r.split("::").next()) {
+                edges.insert((first.to_string(), u.line));
+            }
+        }
+    }
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        if ident(&toks[i]) == Some("crate")
+            && toks[i + 1].tok == Tok::Punct(':')
+            && toks[i + 2].tok == Tok::Punct(':')
+            && !test(toks[i].line)
+        {
+            if let Some(m) = ident(&toks[i + 3]) {
+                edges.insert((m.to_string(), toks[i].line));
+            }
+        }
+    }
+    let my_ix = order.iter().position(|m| m == module);
+    for (target, line) in edges {
+        if target == module {
+            continue;
+        }
+        let Some(dep_ix) = order.iter().position(|m| m == &target) else { continue };
+        match my_ix {
+            None => {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line,
+                    lint: Lint::ModuleDag,
+                    message: format!("module `{module}` uses `crate::{target}` but is not declared in [modules.{krate}] order in colt-analyze.toml"),
+                });
+                return; // one declaration violation is enough
+            }
+            Some(mine) if dep_ix >= mine => {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line,
+                    lint: Lint::ModuleDag,
+                    message: format!("module `{module}` may not use `crate::{target}`: [modules.{krate}] in colt-analyze.toml orders `{target}` at or after `{module}` (layering cycle)"),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// decision-kind: renderer files must mention every ledger kind as a
+/// string literal in non-test code.
+fn check_decision_kinds(file: &SourceFile, manifest: &Manifest, out: &mut Vec<Violation>) {
+    if !manifest.renderers.iter().any(|r| r == &file.rel) {
+        return;
+    }
+    let test = |line: u32| file.kind == Kind::Test || in_regions(&file.test_regions, line);
+    let mut named: BTreeSet<&str> = BTreeSet::new();
+    let mut anchor: Option<u32> = None;
+    for t in &file.lexed.tokens {
+        if test(t.line) {
+            continue;
+        }
+        if let Tok::Str(s) = &t.tok {
+            anchor = anchor.or(Some(t.line));
+            named.insert(s.as_str());
+        }
+    }
+    let missing: Vec<&str> = LEDGER_KIND_OWNERS
+        .iter()
+        .map(|(k, _)| *k)
+        .filter(|k| !named.contains(k))
+        .collect();
+    if !missing.is_empty() {
+        let line = anchor
+            .or_else(|| file.lexed.tokens.first().map(|t| t.line))
+            .unwrap_or(1);
+        out.push(Violation {
+            file: file.rel.clone(),
+            line,
+            lint: Lint::DecisionKind,
+            message: format!(
+                "renderer does not name decision kind(s) {}: every kind in colt_obs::LEDGER_KINDS must be handled here or its records drop silently",
+                missing.iter().map(|k| format!("`{k}`")).collect::<Vec<_>>().join(", ")
+            ),
+        });
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,11 @@
+//! analyze-fixture: path=crates/storage/src/fixture.rs expect=charge-coverage
+
+pub struct HeapFixture {
+    rows: Vec<u64>,
+}
+
+impl HeapFixture {
+    pub fn read_row(&self, at: usize) -> Option<&u64> {
+        self.rows.get(at)
+    }
+}

@@ -1,0 +1,12 @@
+//! analyze-fixture: path=crates/storage/src/fixture.rs expect=clean
+
+pub struct HeapFixture {
+    rows: Vec<u64>,
+}
+
+impl HeapFixture {
+    // colt: allow(charge-coverage) — debug accessor, never on a costed path
+    pub fn read_row(&self, at: usize) -> Option<&u64> {
+        self.rows.get(at)
+    }
+}

@@ -1,0 +1,9 @@
+//! analyze-fixture: path=crates/core/src/obs_export.rs expect=decision-kind
+
+pub fn kind_label(kind: &str) -> &'static str {
+    match kind {
+        "index_create" => "create",
+        "index_drop" => "drop",
+        _ => "other",
+    }
+}

@@ -1,0 +1,9 @@
+//! analyze-fixture: path=crates/core/src/obs_export.rs expect=clean
+
+pub fn kind_label(kind: &str) -> &'static str {
+    match kind {
+        // colt: allow(decision-kind) — fixture renders a deliberate subset
+        "index_create" => "create",
+        _ => "other",
+    }
+}

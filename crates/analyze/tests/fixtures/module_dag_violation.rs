@@ -1,0 +1,7 @@
+//! analyze-fixture: path=crates/storage/src/value.rs expect=module-dag
+
+use crate::btree::BPlusTree;
+
+pub fn lowest_key(t: &BPlusTree) -> u64 {
+    t.min_key()
+}

@@ -1,0 +1,8 @@
+//! analyze-fixture: path=crates/storage/src/value.rs expect=clean
+
+// colt: allow(module-dag) — transitional edge while btree keys move here
+use crate::btree::BPlusTree;
+
+pub fn lowest_key(t: &BPlusTree) -> u64 {
+    t.min_key()
+}

@@ -1,0 +1,11 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=span-pairing
+
+pub fn tune(ready: bool) -> Option<u32> {
+    let _ = colt_obs::span("tuner.begin");
+    let span = colt_obs::span("tuner.epoch");
+    if !ready {
+        return None;
+    }
+    span.sim_ms(1.0);
+    Some(1)
+}

@@ -1,0 +1,13 @@
+//! analyze-fixture: path=crates/core/src/fixture.rs expect=clean
+
+pub fn tune(ready: bool) -> Option<u32> {
+    // colt: allow(span-pairing) — begin marker is wall-time only by design
+    let _ = colt_obs::span("tuner.begin");
+    let span = colt_obs::span("tuner.epoch");
+    if !ready {
+        // colt: allow(span-pairing) — a skipped epoch charges nothing by design
+        return None;
+    }
+    span.sim_ms(1.0);
+    Some(1)
+}

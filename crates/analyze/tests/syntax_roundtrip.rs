@@ -1,0 +1,88 @@
+//! Parser round-trip over the real corpus: the recovered block tree
+//! must brace-balance every `.rs` file in the workspace.
+//!
+//! The unit tests in `syntax.rs` cover crafted snippets; this test is
+//! the adversarial one — the workspace itself is the input. If any
+//! source construct (raw string, nested comment, char literal, struct
+//! expression) desynchronizes the lexer or the block builder, some
+//! file here stops balancing and the failure names it.
+
+use colt_analyze::lexer::{lex, Tok};
+use colt_analyze::SyntaxIndex;
+use std::path::{Path, PathBuf};
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn block_tree_brace_balances_every_workspace_file() {
+    let root = colt_analyze::workspace_root();
+    let mut files = Vec::new();
+    rust_files(&root, &mut files);
+    files.sort();
+    assert!(files.len() >= 100, "workspace walk found only {} files — wrong root?", files.len());
+
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let lexed = lex(&src);
+        let ix = SyntaxIndex::build(&lexed.tokens);
+        let rel = path.strip_prefix(&root).unwrap_or(&path).display().to_string();
+
+        assert!(ix.balanced, "{rel}: block tree did not brace-balance");
+        // Every block (bar the synthetic file-root at index 0) pairs a
+        // real `{` with a real `}`, in order, and sits strictly inside
+        // its parent.
+        for (i, b) in ix.blocks.iter().enumerate().skip(1) {
+            assert!(
+                matches!(lexed.tokens[b.open].tok, Tok::Punct('{')),
+                "{rel}: block {i} opens on a non-brace token"
+            );
+            assert!(
+                matches!(lexed.tokens[b.close].tok, Tok::Punct('}')),
+                "{rel}: block {i} closes on a non-brace token"
+            );
+            assert!(b.open < b.close, "{rel}: block {i} is reversed");
+            if let Some(p) = b.parent {
+                if p != 0 {
+                    let par = &ix.blocks[p];
+                    assert!(
+                        par.open < b.open && b.close < par.close,
+                        "{rel}: block {i} escapes its parent {p}"
+                    );
+                }
+            }
+        }
+        // ...and the tree covers every open brace exactly once — except
+        // braces inside `use` trees, which the builder consumes as part
+        // of the use declaration rather than as blocks. A missed brace
+        // anywhere else means the builder silently skipped a region.
+        let mut opens = 0usize;
+        let mut in_use = false;
+        for t in &lexed.tokens {
+            match &t.tok {
+                Tok::Ident(s) if s == "use" => in_use = true,
+                Tok::Punct(';') => in_use = false,
+                Tok::Punct('{') if !in_use => opens += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            opens,
+            ix.blocks.len() - 1,
+            "{rel}: {opens} open braces in the token stream but {} non-root blocks in the tree",
+            ix.blocks.len() - 1
+        );
+    }
+}

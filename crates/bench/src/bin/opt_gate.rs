@@ -1,0 +1,181 @@
+//! Optimizer-throughput regression gate (ROADMAP item 2: the last
+//! ungated hot path).
+//!
+//! The tuner calls [`colt_engine::Optimizer::optimize`] on every query
+//! — once to plan the real execution and once per what-if probe under a
+//! hypothetical index view — so a plan-derivation slowdown taxes every
+//! policy arm at once, and none of the existing gates (`exec_gate`,
+//! `whatif_gate`, `overhead_gate`) would isolate it: they all measure
+//! larger units that amortize planning. This gate times the planner
+//! alone: every query of the Figure 5 shifting preset is planned under
+//! both the real (empty) physical config and a hypothetical view
+//! holding all of its candidate columns, for `ROUNDS` rounds, and the
+//! derivation rate (plans per wall-clock second, best of `TRIALS`
+//! trials) is compared against the checked-in baseline:
+//!
+//! ```text
+//! opt_gate                    # gate: exit 1 if < baseline / 1.5
+//! opt_gate --write-baseline   # refresh the baseline file
+//! opt_gate --baseline <path>  # non-default baseline location
+//! ```
+//!
+//! Unlike `whatif_gate` (whose baseline was measured with the memo
+//! cache absent, so it demands a multiple *above* baseline) the
+//! baseline here is the same code path, so the gate is a pure
+//! regression floor: fail when the current rate drops below
+//! `baseline / THRESHOLD`. The baseline records the
+//! `COLT_SCALE`/`COLT_SEED` it was measured at; the gate refuses to
+//! compare across workload shapes (exit 2).
+
+use colt_bench::{build_data, scale, seed};
+use colt_catalog::{ColRef, PhysicalConfig};
+use std::collections::BTreeSet;
+use colt_engine::{IndexSetView, Optimizer, Query};
+use colt_workload::presets;
+use std::process::ExitCode;
+
+/// Trials per measurement; the maximum derivation rate is used.
+const TRIALS: usize = 3;
+/// Repeated planning rounds over the workload within one trial.
+const ROUNDS: usize = 64;
+/// Gate threshold: fail when current rate is below baseline ÷ this.
+const THRESHOLD: f64 = 1.5;
+
+fn default_baseline_path() -> String {
+    format!("{}/baselines/opt_baseline.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// One measured trial: (plans derived in the timed region, wall secs).
+fn measure_once(data: &colt_workload::TpchData, work: &[(Query, BTreeSet<ColRef>)]) -> (u64, f64) {
+    let config = PhysicalConfig::new();
+    let opt = Optimizer::new(&data.db);
+    let no_minus: BTreeSet<ColRef> = BTreeSet::new();
+    // One untimed warm round so the timed region measures steady-state
+    // planning, not first-touch cache effects in the catalog.
+    for (q, cands) in work {
+        std::hint::black_box(opt.optimize(q, IndexSetView::real(&config)));
+        std::hint::black_box(opt.optimize(q, IndexSetView::hypothetical(&config, cands, &no_minus)));
+    }
+    let mut derivations = 0u64;
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        for (q, cands) in work {
+            std::hint::black_box(opt.optimize(q, IndexSetView::real(&config)));
+            std::hint::black_box(
+                opt.optimize(q, IndexSetView::hypothetical(&config, cands, &no_minus)),
+            );
+            derivations += 2;
+        }
+    }
+    (derivations, start.elapsed().as_secs_f64())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write-baseline");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(default_baseline_path);
+
+    let data = build_data();
+    let preset = presets::shifting(&data, seed());
+    let work: Vec<(Query, BTreeSet<ColRef>)> = preset
+        .queries
+        .iter()
+        .map(|q| (q.clone(), q.candidate_columns().into_iter().collect()))
+        .collect();
+
+    let mut best_rate = 0.0f64;
+    let mut derivations = 0u64;
+    for trial in 0..TRIALS {
+        let (n, secs) = measure_once(&data, &work);
+        let rate = n as f64 / secs.max(1e-9);
+        println!("  trial {}: {n} plans in {:.3} s = {:.0} plans/s", trial + 1, secs, rate);
+        best_rate = best_rate.max(rate);
+        derivations = n;
+    }
+    println!(
+        "# Optimizer throughput: best of {TRIALS} trials = {best_rate:.0} plan derivations/s \
+         over {derivations} plans (scale {}, seed {})",
+        scale(),
+        seed()
+    );
+
+    if write {
+        let json = colt_core::json::Json::obj(vec![
+            ("scale", colt_core::json::Json::Float(scale())),
+            ("seed", colt_core::json::Json::UInt(seed())),
+            ("plans", colt_core::json::Json::UInt(derivations)),
+            ("rounds", colt_core::json::Json::UInt(ROUNDS as u64)),
+            ("plan_derivations_per_sec", colt_core::json::Json::Float(best_rate)),
+        ])
+        .pretty();
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("error: cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: no baseline at {baseline_path} ({e}); run with --write-baseline first"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let base = match colt_core::json::parse(&raw) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: malformed baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_f = |key: &str| -> Option<f64> {
+        match base.get(key) {
+            Some(colt_core::json::Json::Float(f)) => Some(*f),
+            Some(colt_core::json::Json::UInt(u)) => Some(*u as f64),
+            Some(colt_core::json::Json::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    let (Some(base_scale), Some(base_seed), Some(base_rate)) =
+        (base_f("scale"), base_f("seed"), base_f("plan_derivations_per_sec"))
+    else {
+        eprintln!("error: baseline {baseline_path} is missing scale/seed/plan_derivations_per_sec");
+        return ExitCode::from(2);
+    };
+    if (base_scale - scale()).abs() > 1e-12 || (base_seed - seed() as f64).abs() > 1e-12 {
+        eprintln!(
+            "error: baseline was measured at COLT_SCALE={base_scale} COLT_SEED={base_seed}, \
+             current run is scale {} seed {}; pin them or refresh with --write-baseline",
+            scale(),
+            seed()
+        );
+        return ExitCode::from(2);
+    }
+
+    let floor = base_rate / THRESHOLD;
+    println!("  baseline {base_rate:.0} plans/s, floor = baseline/{THRESHOLD} = {floor:.0} plans/s");
+    if best_rate < floor {
+        println!(
+            "FAIL: optimizer throughput {best_rate:.0} plans/s regressed below 1/{THRESHOLD} \
+             of the baseline ({base_rate:.0} plans/s)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("OK: optimizer sustains {:.2}x the baseline rate", best_rate / base_rate.max(1e-9));
+        ExitCode::SUCCESS
+    }
+}

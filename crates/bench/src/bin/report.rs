@@ -18,8 +18,8 @@
 use colt_bench::{build_data, dump_obs, seed, threads};
 use colt_core::ColtConfig;
 use colt_harness::{
-    render_access_path_mix, render_decision_timeline, render_index_explanations, run_cells, Cell,
-    Policy,
+    render_access_path_mix, render_decision_timeline, render_index_explanations,
+    render_ledger_digest, run_cells, Cell, Policy,
 };
 use colt_workload::presets;
 
@@ -55,6 +55,8 @@ fn main() {
     print!("{}", render_decision_timeline(colt));
     println!();
     print!("{}", render_index_explanations(colt));
+    println!();
+    print!("{}", render_ledger_digest(&colt.obs));
     println!();
     print!("{}", render_access_path_mix("COLT", &colt.obs));
     println!();

@@ -13,9 +13,13 @@
 //! loop (the paper's tuner is single-column by design); they are built
 //! by the off-line advisor (`colt_offline::suggest_composites`) or by
 //! hand, as part of the pre-tuned base configuration.
+//!
+//! This module holds only the key identity and the tree-level scan;
+//! everything that needs the [`crate::database::Database`] (key widths,
+//! shape estimates, the builder) lives in `database.rs` so the module
+//! graph stays a DAG (`database` may depend on `composite`, never the
+//! reverse).
 
-use crate::database::Database;
-use crate::index::IndexEstimate;
 use crate::schema::{ColRef, TableId};
 use colt_storage::{CompositeBPlusTree, IoStats, RowId, Value};
 use std::fmt;
@@ -45,17 +49,6 @@ impl CompositeKey {
     pub fn leading(&self) -> ColRef {
         ColRef::new(self.table, self.columns[0])
     }
-
-    /// Total key width in bytes under the table's schema.
-    pub fn key_width(&self, db: &Database) -> usize {
-        let schema = &db.table(self.table).schema;
-        self.columns.iter().map(|&c| schema.columns[c as usize].vtype.byte_width()).sum()
-    }
-
-    /// Estimated physical shape.
-    pub fn estimate(&self, db: &Database) -> IndexEstimate {
-        IndexEstimate::for_table(db.table(self.table).heap.row_count() as u64, self.key_width(db))
-    }
 }
 
 impl fmt::Display for CompositeKey {
@@ -80,31 +73,6 @@ pub struct MaterializedComposite {
     pub tree: CompositeBPlusTree,
     /// The physical work charged to build it.
     pub build_io: IoStats,
-}
-
-/// Build a composite index over a table's heap: full scan, sort by the
-/// composite key, bulk load, page writes — the same charge structure as
-/// single-column builds.
-pub fn build_composite(db: &Database, key: &CompositeKey) -> MaterializedComposite {
-    let t = db.table(key.table);
-    let mut io = IoStats::new();
-    let mut entries: Vec<(Vec<Value>, RowId)> = t
-        .heap
-        .scan(&mut io)
-        .map(|(rid, row)| {
-            let k: Vec<Value> =
-                key.columns.iter().map(|&c| row[c as usize].clone()).collect();
-            (k, rid)
-        })
-        .collect();
-    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-    let n = entries.len() as u64;
-    if n > 1 {
-        io.cpu_ops += n * (64 - n.leading_zeros() as u64);
-    }
-    let tree = CompositeBPlusTree::bulk_load(key.key_width(db), entries);
-    io.pages_written += tree.page_count() as u64;
-    MaterializedComposite { key: key.clone(), tree, build_io: io }
 }
 
 /// Lexicographic prefix scan of a composite index: `prefix` pins the
@@ -173,6 +141,7 @@ pub fn prefix_scan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::{build_composite, Database};
     use crate::schema::{Column, TableSchema};
     use colt_storage::{row_from, ValueType};
     use std::ops::Bound;

@@ -1,11 +1,11 @@
 //! The database: tables with their heaps and statistics, plus the
 //! physical configuration of materialized indices.
 
-use crate::composite::{build_composite, CompositeKey, MaterializedComposite};
+use crate::composite::{CompositeKey, MaterializedComposite};
 use crate::index::{build_index, IndexEstimate, IndexOrigin, MaterializedIndex};
 use crate::schema::{ColRef, TableId, TableSchema};
 use crate::stats::ColumnStats;
-use colt_storage::{CostParams, HeapTable, IoStats, Row};
+use colt_storage::{CompositeBPlusTree, CostParams, HeapTable, IoStats, Row, RowId, Value};
 use std::collections::BTreeMap;
 
 /// One table: schema, heap storage, and per-column statistics.
@@ -54,6 +54,47 @@ impl Table {
     pub fn column_stats(&self, column: u32) -> &ColumnStats {
         &self.stats[column as usize]
     }
+}
+
+// Database-dependent composite operations live here (not in
+// `composite.rs`) so the module graph stays acyclic: `database` depends
+// on `composite` for the key identity, never the reverse.
+impl CompositeKey {
+    /// Total key width in bytes under the table's schema.
+    pub fn key_width(&self, db: &Database) -> usize {
+        let schema = &db.table(self.table).schema;
+        self.columns.iter().map(|&c| schema.columns[c as usize].vtype.byte_width()).sum()
+    }
+
+    /// Estimated physical shape.
+    pub fn estimate(&self, db: &Database) -> IndexEstimate {
+        IndexEstimate::for_table(db.table(self.table).heap.row_count() as u64, self.key_width(db))
+    }
+}
+
+/// Build a composite index over a table's heap: full scan, sort by the
+/// composite key, bulk load, page writes — the same charge structure as
+/// single-column builds.
+pub fn build_composite(db: &Database, key: &CompositeKey) -> MaterializedComposite {
+    let t = db.table(key.table);
+    let mut io = IoStats::new();
+    let mut entries: Vec<(Vec<Value>, RowId)> = t
+        .heap
+        .scan(&mut io)
+        .map(|(rid, row)| {
+            let k: Vec<Value> =
+                key.columns.iter().map(|&c| row[c as usize].clone()).collect();
+            (k, rid)
+        })
+        .collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let n = entries.len() as u64;
+    if n > 1 {
+        io.cpu_ops += n * (64 - n.leading_zeros() as u64);
+    }
+    let tree = CompositeBPlusTree::bulk_load(key.key_width(db), entries);
+    io.pages_written += tree.page_count() as u64;
+    MaterializedComposite { key: key.clone(), tree, build_io: io }
 }
 
 /// An in-memory database instance.

@@ -19,8 +19,8 @@ pub mod index;
 pub mod schema;
 pub mod stats;
 
-pub use composite::{build_composite, prefix_scan, CompositeKey, MaterializedComposite};
-pub use database::{Database, PhysicalConfig, Table};
+pub use composite::{prefix_scan, CompositeKey, MaterializedComposite};
+pub use database::{build_composite, Database, PhysicalConfig, Table};
 pub use dml::{insert_row, insert_rows as ingest_rows};
 pub use index::{build_index, IndexEstimate, IndexOrigin, MaterializedIndex};
 pub use schema::{ColRef, Column, TableId, TableSchema};

@@ -70,9 +70,36 @@ pub fn decision_json(record: &DecisionRecord) -> Json {
     Json::Obj(pairs)
 }
 
+/// The decision kinds the snapshot serializer accounts for, written
+/// out literally — not borrowed from `colt_obs::LEDGER_KINDS` — so the
+/// `decision-kind` lint can hold this serializer to the full kind set;
+/// the `ledger_counts_cover_every_kind` test keeps the two tables in
+/// lockstep.
+const LEDGER_COUNT_KINDS: &[&str] = &[
+    "whatif_probe",
+    "cluster_assign",
+    "knapsack",
+    "index_create",
+    "index_drop",
+    "budget_change",
+];
+
+/// Record counts per decision kind, every kind always present (zero
+/// when unseen): a kind whose records stop flowing diffs as `0`, not as
+/// a silently missing key.
+fn ledger_counts_json(snap: &Snapshot) -> Json {
+    Json::Obj(
+        LEDGER_COUNT_KINDS
+            .iter()
+            .map(|k| (k.to_string(), Json::UInt(snap.ledger.of_kind(k).count() as u64)))
+            .collect(),
+    )
+}
+
 /// A full metrics snapshot as one JSON object: counters, gauges,
 /// histograms, span timings, the retained event stream, and the flight
-/// recorder (decision ledger + per-epoch time series).
+/// recorder (decision ledger + per-kind counts + per-epoch time
+/// series).
 pub fn snapshot_json(snap: &Snapshot) -> Json {
     let counters =
         Json::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect());
@@ -125,6 +152,7 @@ pub fn snapshot_json(snap: &Snapshot) -> Json {
         ("spans", spans),
         ("events", events),
         ("ledger", ledger),
+        ("ledger_counts", ledger_counts_json(snap)),
         ("series", series),
     ])
 }
@@ -198,6 +226,21 @@ mod tests {
             let parsed = crate::json::parse(&rec.jsonl()).expect("record jsonl parses");
             assert_eq!(parsed, decision_json(rec));
         }
+    }
+
+    #[test]
+    fn ledger_counts_cover_every_kind() {
+        let ours: Vec<&str> = LEDGER_COUNT_KINDS.to_vec();
+        let theirs: Vec<&str> = colt_obs::LEDGER_KINDS.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ours, theirs, "obs_export must count exactly colt_obs::LEDGER_KINDS");
+
+        let mut r = Recorder::new(Level::Summary);
+        r.record_decision(DecisionRecord::new("index_create").field("index", "t0.c0"));
+        let snap = r.into_snapshot();
+        let back = crate::json::parse(&snapshot_json(&snap).pretty()).unwrap();
+        let counts = back.get("ledger_counts").unwrap();
+        assert_eq!(counts.get("index_create").and_then(Json::as_u64), Some(1));
+        assert_eq!(counts.get("whatif_probe").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

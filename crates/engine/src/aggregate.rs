@@ -13,7 +13,8 @@
 //! from each batch, without materializing row-major tuples first.
 
 use crate::batch::TableLayout;
-use crate::executor::{ExecError, Executor, QueryResult};
+use crate::error::ExecError;
+use crate::executor::{Executor, QueryResult};
 use crate::plan::Plan;
 use crate::query::Query;
 use colt_catalog::ColRef;

@@ -14,7 +14,7 @@
 //! how processed rows are grouped into batches (see DESIGN.md,
 //! "Vectorized execution").
 
-use crate::executor::ExecError;
+use crate::error::ExecError;
 use colt_catalog::{ColRef, Database, TableId};
 use colt_storage::Value;
 

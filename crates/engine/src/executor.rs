@@ -17,71 +17,13 @@
 //! row-at-a-time reference implementation in [`crate::rowwise`].
 
 use crate::batch::{ColumnBatch, TableLayout, BATCH_ROWS};
+use crate::error::ExecError;
 use crate::plan::{AccessPath, Plan, PlanNode};
 use crate::query::{PredicateKind, Query, SelPred};
 use colt_catalog::{ColRef, Database, PhysicalConfig, TableId};
 use colt_storage::{IoStats, Row, RowId, Value};
 use std::collections::HashMap;
 use std::ops::Bound;
-
-/// A plan/input mismatch detected during execution.
-///
-/// The executor trusts the optimizer for *physical* facts it can check
-/// cheaply elsewhere (materialized indexes, sargable predicates), but
-/// hand-built plans are part of the public API, so every structural
-/// contradiction a caller can construct by hand surfaces as a typed
-/// error instead of a panic: join keys referencing absent tables,
-/// column references beyond a table's arity, and ragged column batches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecError {
-    /// A join predicate references a table absent from the operator's
-    /// input batch: the plan's join tree does not cover the predicate.
-    JoinKeyTableMissing {
-        /// Operator that detected the mismatch.
-        operator: &'static str,
-        /// The table the join key references.
-        table: TableId,
-    },
-    /// A column batch was assembled from columns of unequal length —
-    /// the batch boundary check for ragged operator output.
-    ColumnArityMismatch {
-        /// Operator that detected the mismatch.
-        operator: &'static str,
-        /// Rows in the batch's first column.
-        expected: usize,
-        /// Rows in the offending column.
-        got: usize,
-    },
-    /// A predicate, join key, or aggregate references a column beyond
-    /// its table's arity (or a table absent from the output layout).
-    UnknownColRef {
-        /// Operator that detected the mismatch.
-        operator: &'static str,
-        /// The out-of-range column reference.
-        col: ColRef,
-    },
-}
-
-impl std::fmt::Display for ExecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExecError::JoinKeyTableMissing { operator, table } => write!(
-                f,
-                "{operator}: join key references table t{} absent from the input batch",
-                table.0
-            ),
-            ExecError::ColumnArityMismatch { operator, expected, got } => write!(
-                f,
-                "{operator}: ragged column batch ({got} rows in a column, expected {expected})"
-            ),
-            ExecError::UnknownColRef { operator, col } => {
-                write!(f, "{operator}: column {col} is not part of the operator's input")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ExecError {}
 
 /// Result of executing one query.
 #[derive(Debug, Clone)]
@@ -354,7 +296,7 @@ impl<'a> Executor<'a> {
             }
             AccessPath::CompositeScan { key, eq_prefix, range_next } => {
                 let mut rowids =
-                    composite_scan_rowids(self.config, &preds, key, *eq_prefix, *range_next, io);
+                    composite_scan_rowids(self.config, &preds, key, *eq_prefix, *range_next, io)?;
                 let fetched = t.heap.fetch_sorted(&mut rowids, io);
                 for chunk in fetched.chunks(BATCH_ROWS) {
                     io.cpu_ops += (preds.len() * chunk.len()) as u64;
@@ -366,7 +308,7 @@ impl<'a> Executor<'a> {
                 }
             }
             AccessPath::IndexScan { col } => {
-                let (mut rowids, driver_idx) = index_scan_rowids(self.config, &preds, *col, io);
+                let (mut rowids, driver_idx) = index_scan_rowids(self.config, &preds, *col, io)?;
                 let fetched = t.heap.fetch_sorted(&mut rowids, io);
                 for chunk in fetched.chunks(BATCH_ROWS) {
                     // Residual = everything except the one predicate
@@ -507,7 +449,7 @@ impl<'a> Executor<'a> {
         need: bool,
     ) -> Result<OpOutput, ExecError> {
         let inner_table = self.db.table(inner);
-        let index = materialized_index(self.config, index_col);
+        let index = materialized_index("index_nl_join", self.config, index_col)?;
         let inner_preds: Vec<&SelPred> = query.selections_on(inner).collect();
         let inner_arity = inner_table.schema.arity();
         check_pred_cols("index_nl_join", &inner_preds, inner_arity)?;
@@ -704,15 +646,14 @@ fn gather_rows<R: std::borrow::Borrow<Row>>(rows: &[R], sel: &[u32], width: usiz
     ColumnBatch::dense(cols)
 }
 
-/// The materialized single-column index a plan node refers to.
-pub(crate) fn materialized_index(
-    config: &PhysicalConfig,
+/// The materialized single-column index a plan node refers to, or a
+/// typed error when a hand-built plan names one that was never built.
+pub(crate) fn materialized_index<'c>(
+    operator: &'static str,
+    config: &'c PhysicalConfig,
     col: ColRef,
-) -> &colt_catalog::MaterializedIndex {
-    config
-        .get(col)
-        // colt: allow(panic-policy) — the optimizer only emits index nodes for materialized indexes
-        .unwrap_or_else(|| panic!("plan uses unmaterialized index {col}"))
+) -> Result<&'c colt_catalog::MaterializedIndex, ExecError> {
+    config.get(col).ok_or(ExecError::UnmaterializedIndex { operator, col })
 }
 
 /// Collect the rowids an index scan's driving predicate selects, and
@@ -723,13 +664,12 @@ pub(crate) fn index_scan_rowids(
     preds: &[&SelPred],
     col: ColRef,
     io: &mut IoStats,
-) -> (Vec<RowId>, usize) {
-    let index = materialized_index(config, col);
+) -> Result<(Vec<RowId>, usize), ExecError> {
+    let index = materialized_index("index_scan", config, col)?;
     let driver_idx = preds
         .iter()
         .position(|p| p.col == col)
-        // colt: allow(panic-policy) — index scans are only planned on sargable columns
-        .unwrap_or_else(|| panic!("index scan without sargable predicate on {col}"));
+        .ok_or(ExecError::MissingDriverPredicate { operator: "index_scan", col })?;
     let mut rowids: Vec<RowId> = Vec::new();
     match &preds[driver_idx].kind {
         PredicateKind::Eq(v) => index.tree.lookup_into(v, &mut rowids, io),
@@ -744,7 +684,7 @@ pub(crate) fn index_scan_rowids(
             index.tree.range_into(range_bound(lo), range_bound(hi), &mut rowids, io);
         }
     }
-    (rowids, driver_idx)
+    Ok((rowids, driver_idx))
 }
 
 /// Collect the rowids a composite scan's prefix (plus optional range on
@@ -756,42 +696,46 @@ pub(crate) fn composite_scan_rowids(
     eq_prefix: u32,
     range_next: bool,
     io: &mut IoStats,
-) -> Vec<RowId> {
+) -> Result<Vec<RowId>, ExecError> {
     let index = config
         .get_composite(key)
-        // colt: allow(panic-policy) — the optimizer only emits composite scans for materialized composites
-        .unwrap_or_else(|| panic!("plan uses unmaterialized composite {key}"));
-    // Equality values pinning the prefix.
+        .ok_or(ExecError::UnmaterializedComposite { operator: "composite_scan", table: key.table })?;
+    // Equality values pinning the prefix. Matching on the predicate
+    // kind directly (rather than find-then-unwrap) keeps the "chosen
+    // from these very predicates" invariant as a typed error.
     let prefix: Vec<Value> = key.columns[..eq_prefix as usize]
         .iter()
         .map(|&c| {
-            let pred = preds
+            preds
                 .iter()
-                .find(|p| p.col.column == c && matches!(p.kind, PredicateKind::Eq(_)))
-                // colt: allow(panic-policy) — eq_prefix was chosen from these very predicates
-                .unwrap_or_else(|| panic!("missing eq predicate for composite prefix"));
-            match &pred.kind {
-                PredicateKind::Eq(v) => v.clone(),
-                // colt: allow(panic-policy) — the find above matched PredicateKind::Eq only
-                _ => unreachable!(),
-            }
+                .find_map(|p| match &p.kind {
+                    PredicateKind::Eq(v) if p.col.column == c => Some(v.clone()),
+                    _ => None,
+                })
+                .ok_or(ExecError::MissingDriverPredicate {
+                    operator: "composite_scan",
+                    col: ColRef { table: key.table, column: c },
+                })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     // Optional range on the next column.
     let next = if range_next {
         let c = key.columns[eq_prefix as usize];
-        let pred = preds
+        let (lo, hi) = preds
             .iter()
-            .find(|p| p.col.column == c && matches!(p.kind, PredicateKind::Range { .. }))
-            // colt: allow(panic-policy) — range_next is set only when such a predicate exists
-            .unwrap_or_else(|| panic!("missing range predicate for composite scan"));
-        // colt: allow(panic-policy) — the find above matched PredicateKind::Range only
-        let PredicateKind::Range { lo, hi } = &pred.kind else { unreachable!() };
+            .find_map(|p| match &p.kind {
+                PredicateKind::Range { lo, hi } if p.col.column == c => Some((lo, hi)),
+                _ => None,
+            })
+            .ok_or(ExecError::MissingDriverPredicate {
+                operator: "composite_scan",
+                col: ColRef { table: key.table, column: c },
+            })?;
         Some((range_bound(lo), range_bound(hi)))
     } else {
         None
     };
-    colt_catalog::prefix_scan(index, &prefix, next, io)
+    Ok(colt_catalog::prefix_scan(index, &prefix, next, io))
 }
 
 fn range_bound(b: &Option<crate::query::RangeBound>) -> Bound<Value> {

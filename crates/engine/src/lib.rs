@@ -19,6 +19,7 @@
 pub mod aggregate;
 pub mod batch;
 pub mod cost;
+pub mod error;
 pub mod executor;
 pub mod memo;
 pub mod optimizer;
@@ -31,7 +32,8 @@ pub mod whatif;
 
 pub use aggregate::{AggExpr, AggFunc, AggSpec};
 pub use batch::{ColumnBatch, TableLayout, BATCH_ROWS};
-pub use executor::{Collect, ExecError, ExecOutput, Executor, QueryResult};
+pub use error::ExecError;
+pub use executor::{Collect, ExecOutput, Executor, QueryResult};
 pub use rowwise::RowwiseExecutor;
 pub use memo::{MemoHandle, WhatIfMemo};
 pub use optimizer::{IndexSetView, Optimizer, OptimizerOptions};

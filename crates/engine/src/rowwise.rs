@@ -16,9 +16,10 @@
 
 use crate::aggregate::{Acc, AggSpec};
 use crate::batch::TableLayout;
+use crate::error::ExecError;
 use crate::executor::{
     check_pred_cols, composite_scan_rowids, index_scan_rowids, materialized_index, Collect,
-    ExecError, ExecOutput, QueryResult,
+    ExecOutput, QueryResult,
 };
 use crate::plan::{AccessPath, Plan, PlanNode};
 use crate::query::{Query, SelPred};
@@ -161,7 +162,7 @@ impl<'a> RowwiseExecutor<'a> {
                 .collect(),
             AccessPath::CompositeScan { key, eq_prefix, range_next } => {
                 let mut rowids =
-                    composite_scan_rowids(self.config, &preds, key, *eq_prefix, *range_next, io);
+                    composite_scan_rowids(self.config, &preds, key, *eq_prefix, *range_next, io)?;
                 let fetched = t.heap.fetch_sorted(&mut rowids, io);
                 fetched
                     .into_iter()
@@ -173,7 +174,7 @@ impl<'a> RowwiseExecutor<'a> {
                     .collect()
             }
             AccessPath::IndexScan { col } => {
-                let (mut rowids, driver_idx) = index_scan_rowids(self.config, &preds, *col, io);
+                let (mut rowids, driver_idx) = index_scan_rowids(self.config, &preds, *col, io)?;
                 let fetched = t.heap.fetch_sorted(&mut rowids, io);
                 fetched
                     .into_iter()
@@ -273,7 +274,7 @@ impl<'a> RowwiseExecutor<'a> {
         io: &mut IoStats,
     ) -> Result<Batch, ExecError> {
         let inner_table = self.db.table(inner);
-        let index = materialized_index(self.config, index_col);
+        let index = materialized_index("index_nl_join", self.config, index_col)?;
         let inner_preds: Vec<&SelPred> = query.selections_on(inner).collect();
         let inner_arity = inner_table.schema.arity();
         check_pred_cols("index_nl_join", &inner_preds, inner_arity)?;

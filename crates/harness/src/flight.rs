@@ -139,6 +139,53 @@ pub fn render_index_explanations(run: &RunResult) -> String {
     out
 }
 
+/// Every decision-ledger kind with its human label, in render order.
+/// The kinds are written out literally — not borrowed from
+/// `colt_obs::LEDGER_KINDS` — so the `decision-kind` lint can hold this
+/// renderer to the full kind set; the
+/// `ledger_kind_labels_mirror_the_obs_table` test keeps the two tables
+/// in lockstep.
+pub const LEDGER_KIND_LABELS: &[(&str, &str)] = &[
+    ("whatif_probe", "what-if probe"),
+    ("cluster_assign", "cluster assignment"),
+    ("knapsack", "knapsack solve"),
+    ("index_create", "index created"),
+    ("index_drop", "index dropped"),
+    ("budget_change", "budget change"),
+];
+
+/// Human label for a ledger record kind (the kind itself when unknown).
+pub fn kind_label(kind: &str) -> &str {
+    LEDGER_KIND_LABELS.iter().find(|(k, _)| *k == kind).map_or(kind, |(_, label)| *label)
+}
+
+/// Render the ledger digest: one row per decision kind — label, record
+/// count, and epoch span. Every kind is always present, so a kind whose
+/// records stopped flowing shows up as a zero row in the diff instead
+/// of silently vanishing from the exhibit.
+pub fn render_ledger_digest(obs: &Snapshot) -> String {
+    let mut out = String::from("## Decision-ledger digest\n\n");
+    out.push_str("| kind | decisions | first epoch | last epoch |\n");
+    out.push_str("|---|---:|---:|---:|\n");
+    for (kind, label) in LEDGER_KIND_LABELS {
+        let mut count = 0u64;
+        let mut first: Option<u64> = None;
+        let mut last: Option<u64> = None;
+        for r in obs.ledger.of_kind(kind) {
+            count += 1;
+            first = Some(first.map_or(r.epoch, |f| f.min(r.epoch)));
+            last = Some(last.map_or(r.epoch, |l| l.max(r.epoch)));
+        }
+        let dash = "—".to_string();
+        out.push_str(&format!(
+            "| {label} | {count} | {} | {} |\n",
+            first.map_or_else(|| dash.clone(), |e| e.to_string()),
+            last.map_or_else(|| dash.clone(), |e| e.to_string()),
+        ));
+    }
+    out
+}
+
 /// The access-path counters the mix exhibit tracks, in column order.
 pub const ACCESS_PATH_COUNTERS: &[(&str, &str)] = &[
     ("engine.op.seq_scan", "seq scan"),
@@ -234,6 +281,25 @@ mod tests {
         r.add_counter("engine.op.index_scan", 7);
         r.mark_epoch(1);
         r.into_snapshot()
+    }
+
+    #[test]
+    fn ledger_kind_labels_mirror_the_obs_table() {
+        let ours: Vec<&str> = LEDGER_KIND_LABELS.iter().map(|(k, _)| *k).collect();
+        let theirs: Vec<&str> = colt_obs::LEDGER_KINDS.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ours, theirs, "flight.rs labels must cover exactly colt_obs::LEDGER_KINDS");
+        assert_eq!(kind_label("knapsack"), "knapsack solve");
+        assert_eq!(kind_label("unknown_kind"), "unknown_kind");
+    }
+
+    #[test]
+    fn ledger_digest_lists_every_kind() {
+        let s = render_ledger_digest(&recorder_with_decisions());
+        for (_, label) in LEDGER_KIND_LABELS {
+            assert!(s.contains(label), "digest misses `{label}`:\n{s}");
+        }
+        assert!(s.contains("| knapsack solve | 1 | 0 | 0 |"), "digest:\n{s}");
+        assert!(s.contains("| what-if probe | 0 | — | — |"), "digest:\n{s}");
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod report;
 pub mod runner;
 
 pub use flight::{
-    explaining_knapsack, parse_candidates, render_access_path_mix, render_decision_timeline,
-    render_index_explanations, KnapsackCandidate, ACCESS_PATH_COUNTERS,
+    explaining_knapsack, kind_label, parse_candidates, render_access_path_mix,
+    render_decision_timeline, render_index_explanations, render_ledger_digest, KnapsackCandidate,
+    ACCESS_PATH_COUNTERS, LEDGER_KIND_LABELS,
 };
 pub use metrics::{adaptation_latency, budget_utilization, convergence_point};
 pub use multiclient::{interleave, split_round_robin};
