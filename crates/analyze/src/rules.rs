@@ -303,6 +303,7 @@ const METRIC_FNS: &[&str] = &["span", "counter", "gauge", "observe", "span_sim"]
 /// workspace-clean test keep the two tables honest).
 const LEDGER_KIND_OWNERS: &[(&str, &str)] = &[
     ("whatif_probe", "core"),
+    ("whatif_skip", "core"),
     ("cluster_assign", "core"),
     ("knapsack", "core"),
     ("index_create", "core"),

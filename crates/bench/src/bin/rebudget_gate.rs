@@ -1,0 +1,238 @@
+//! Dynamic re-budgeting regression gate (PR 10 tentpole).
+//!
+//! The profiler's skip-proofs (see `colt_core::rebudget`) exist to stop
+//! spending what-if probes on candidates whose gain interval already
+//! proves they cannot change the knapsack outcome. This gate runs the
+//! Figure 5 shifting preset end to end and compares probes *issued* per
+//! epoch against the checked-in baseline:
+//!
+//! ```text
+//! rebudget_gate                    # gate: exit 1 below 1.3x reduction
+//! rebudget_gate --write-baseline   # refresh the baseline file
+//! rebudget_gate --baseline <path>  # non-default baseline location
+//! ```
+//!
+//! `--write-baseline` measures the run with `dynamic_rebudget` *off*
+//! (the PR-9 profiler), so the gate always compares skip-proofs against
+//! the exact behavior they replaced. Two conditions are enforced:
+//!
+//! 1. **Overhead**: probes issued per epoch must fall by at least
+//!    [`REDUCTION_FLOOR`]x relative to the baseline.
+//! 2. **Decision quality**: the final index set must be byte-identical
+//!    to the baseline's — or, failing that, the converged tail cost must
+//!    be strictly better. Skipping a probe is only legal when it cannot
+//!    change the knapsack solution, so identical outcomes are the
+//!    expected case, not a lucky one.
+//!
+//! Everything measured here is a deterministic count or simulated cost
+//! (no wall-clock), so a single run suffices and the baseline transfers
+//! across machines. The baseline records its `COLT_SCALE`/`COLT_SEED`;
+//! the gate refuses to compare across workload shapes (exit 2).
+
+use colt_bench::{build_data, scale, seed};
+use colt_core::json::Json;
+use colt_core::ColtConfig;
+use colt_harness::{Experiment, Policy};
+use colt_workload::presets;
+use std::process::ExitCode;
+
+/// Gate threshold: fail when (baseline probes issued per epoch) /
+/// (current probes issued per epoch) drops below this.
+const REDUCTION_FLOOR: f64 = 1.3;
+/// Tail length (queries) over which converged cost is compared.
+const TAIL_QUERIES: usize = 300;
+
+fn default_baseline_path() -> String {
+    format!("{}/baselines/rebudget_baseline.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// One end-to-end run of the shifting preset; returns the metrics the
+/// gate compares.
+struct RunMetrics {
+    epochs: u64,
+    issued: u64,
+    skipped: u64,
+    tail_ms: f64,
+    final_indices: Vec<String>,
+}
+
+fn run(data: &colt_workload::TpchData, dynamic_rebudget: bool) -> RunMetrics {
+    let preset = presets::shifting(data, seed());
+    let result = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(ColtConfig {
+            storage_budget_pages: preset.budget_pages,
+            dynamic_rebudget,
+            // Fixed-intensity profiling in BOTH arms: the r-ratio
+            // hibernates the profiler so aggressively at gate scale
+            // (<1 probe/epoch against a budget of 20) that there is
+            // almost nothing left to skip. Pinning self-regulation off
+            // isolates what the skip-proofs themselves save on the
+            // probes the r-ratio would otherwise issue; the product
+            // default keeps both mechanisms on, composed.
+            self_regulation: false,
+            ..Default::default()
+        }))
+        .run()
+        .expect("run failed");
+    let n = preset.queries.len();
+    let tail = n.saturating_sub(TAIL_QUERIES)..n;
+    RunMetrics {
+        epochs: result.trace.epochs.len() as u64,
+        issued: result.trace.epochs.iter().map(|e| e.whatif_used).sum(),
+        skipped: result.trace.epochs.iter().map(|e| e.whatif_skipped).sum(),
+        tail_ms: result.range_millis(tail),
+        final_indices: result.final_indices.iter().map(|c| format!("{c}")).collect(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write-baseline");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(default_baseline_path);
+
+    let data = build_data();
+    let m = run(&data, !write);
+    let per_epoch = m.issued as f64 / (m.epochs as f64).max(1.0);
+    let skipped_per_epoch = m.skipped as f64 / (m.epochs as f64).max(1.0);
+    let label = if write { "dynamic_rebudget=off (baseline)" } else { "dynamic_rebudget=on" };
+    println!(
+        "# Re-budget gate ({label}, scale {}, seed {}): {} probes issued + {} skipped over {} epochs \
+         = {per_epoch:.2} issued/epoch, {skipped_per_epoch:.2} skipped/epoch",
+        scale(),
+        seed(),
+        m.issued,
+        m.skipped,
+        m.epochs
+    );
+    println!(
+        "  converged tail (last {TAIL_QUERIES} queries): {:.1} simulated ms; final indices: [{}]",
+        m.tail_ms,
+        m.final_indices.join(", ")
+    );
+
+    if write {
+        let json = Json::obj(vec![
+            ("scale", Json::Float(scale())),
+            ("seed", Json::UInt(seed())),
+            ("epochs", Json::UInt(m.epochs)),
+            ("probes_issued", Json::UInt(m.issued)),
+            ("probes_issued_per_epoch", Json::Float(per_epoch)),
+            ("tail_queries", Json::UInt(TAIL_QUERIES as u64)),
+            ("converged_tail_ms", Json::Float(m.tail_ms)),
+            (
+                "final_indices",
+                Json::Arr(m.final_indices.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+        ])
+        .pretty();
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("error: cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: no baseline at {baseline_path} ({e}); run with --write-baseline first"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let base = match colt_core::json::parse(&raw) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: malformed baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_f = |key: &str| -> Option<f64> {
+        match base.get(key) {
+            Some(Json::Float(f)) => Some(*f),
+            Some(Json::UInt(u)) => Some(*u as f64),
+            Some(Json::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    let (Some(base_scale), Some(base_seed), Some(base_per_epoch), Some(base_tail_ms)) = (
+        base_f("scale"),
+        base_f("seed"),
+        base_f("probes_issued_per_epoch"),
+        base_f("converged_tail_ms"),
+    ) else {
+        eprintln!("error: baseline {baseline_path} is missing required fields");
+        return ExitCode::from(2);
+    };
+    if (base_scale - scale()).abs() > 1e-12 || base_seed as u64 != seed() {
+        eprintln!(
+            "error: baseline was measured at COLT_SCALE={base_scale} COLT_SEED={base_seed}, \
+             current run is {}/{}; pin them or refresh with --write-baseline",
+            scale(),
+            seed()
+        );
+        return ExitCode::from(2);
+    }
+    let base_indices: Vec<String> = match base.get("final_indices") {
+        Some(Json::Arr(a)) => a
+            .iter()
+            .filter_map(|j| match j {
+                Json::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => {
+            eprintln!("error: baseline {baseline_path} is missing final_indices");
+            return ExitCode::from(2);
+        }
+    };
+
+    let reduction = base_per_epoch / per_epoch.max(1e-9);
+    println!(
+        "  baseline {base_per_epoch:.2} issued/epoch -> {per_epoch:.2} issued/epoch \
+         = {reduction:.2}x reduction (floor {REDUCTION_FLOOR}x)"
+    );
+    let mut ok = true;
+    if reduction < REDUCTION_FLOOR {
+        println!(
+            "FAIL: probes issued per epoch fell only {reduction:.2}x, below the {REDUCTION_FLOOR}x floor"
+        );
+        ok = false;
+    }
+    if m.final_indices == base_indices {
+        println!("  decision quality: final index set identical to baseline");
+    } else if m.tail_ms < base_tail_ms {
+        println!(
+            "  decision quality: final index set differs but converged tail cost improved \
+             ({:.1} ms vs baseline {base_tail_ms:.1} ms)",
+            m.tail_ms
+        );
+    } else {
+        println!(
+            "FAIL: final index set differs from baseline ([{}] vs [{}]) and converged tail \
+             cost did not improve ({:.1} ms vs {base_tail_ms:.1} ms)",
+            m.final_indices.join(", "),
+            base_indices.join(", "),
+            m.tail_ms
+        );
+        ok = false;
+    }
+    if ok {
+        println!("OK: skip-proofs cut issued probes {reduction:.2}x at unchanged-or-better decisions");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

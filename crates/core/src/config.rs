@@ -65,6 +65,14 @@ pub struct ColtConfig {
     /// `#WI_max`, modelling the fixed-intensity on-line tuners the paper
     /// contrasts against; used by the `ablation` bench.
     pub self_regulation: bool,
+    /// Whether the Profiler runs skip-proofs before what-if probes
+    /// (dynamic budget reallocation): a probe whose gain interval
+    /// provably cannot alter the current knapsack solution is skipped,
+    /// charging nothing against `#WI_lim`, and the freed budget flows to
+    /// the widest-interval candidates. The outer `r`-ratio control loop
+    /// is untouched either way. The `rebudget_gate` bench writes its
+    /// baseline with this off to measure the probe reduction.
+    pub dynamic_rebudget: bool,
     /// Seed of COLT's internal (deterministic) sampling PRNG.
     pub seed: u64,
 }
@@ -87,6 +95,7 @@ impl Default for ColtConfig {
             swap_margin: 0.5,
             composite_budget_pages: 0,
             self_regulation: true,
+            dynamic_rebudget: true,
             seed: 0x0C01_7001,
         }
     }
@@ -326,6 +335,12 @@ impl ColtConfigBuilder {
         self
     }
 
+    /// Enable or disable skip-proofs before what-if probes.
+    pub fn dynamic_rebudget(mut self, on: bool) -> Self {
+        self.config.dynamic_rebudget = on;
+        self
+    }
+
     /// Seed of COLT's internal sampling PRNG.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -355,6 +370,7 @@ mod tests {
         assert!((c.confidence_z - 1.645).abs() < 1e-9);
         assert!((c.selective_boundary - 0.02).abs() < 1e-12);
         assert!((c.full_budget_ratio - 1.3).abs() < 1e-12);
+        assert!(c.dynamic_rebudget, "skip-proofs are on by default");
         assert!(c.validate().is_ok());
     }
 

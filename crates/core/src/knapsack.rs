@@ -64,18 +64,28 @@ pub fn solve(items: &[Item], capacity: u64) -> Vec<usize> {
         let n = rest.len();
         let mut best_mask = 0usize;
         let mut best_value = 0.0f64;
-        for mask in 0usize..(1 << n) {
-            let mut size = 0u64;
-            let mut value = 0.0;
-            for (j, (_, it)) in rest.iter().enumerate() {
-                if mask & (1 << j) != 0 {
-                    size += it.size;
-                    value += it.value;
-                }
+        // Gray-code walk: consecutive masks differ in exactly one item,
+        // so each subset is scored with one add/remove instead of a full
+        // O(n) re-sum. Only the winning mask escapes this loop — callers
+        // recompute totals from the items — so the running float
+        // accumulation cannot leak drift into reported values.
+        let mut prev_gray = 0usize;
+        let (mut size, mut value) = (0u64, 0.0f64);
+        for k in 1usize..(1 << n) {
+            let gray = k ^ (k >> 1);
+            let j = (gray ^ prev_gray).trailing_zeros() as usize;
+            let it = &rest[j].1;
+            if gray & (1 << j) != 0 {
+                size += it.size;
+                value += it.value;
+            } else {
+                size -= it.size;
+                value -= it.value;
             }
+            prev_gray = gray;
             if size <= capacity && value > best_value {
                 best_value = value;
-                best_mask = mask;
+                best_mask = gray;
             }
         }
         let mut out = always;
@@ -90,9 +100,14 @@ pub fn solve(items: &[Item], capacity: u64) -> Vec<usize> {
     let cap = (capacity / scale) as usize;
     let sizes: Vec<usize> = rest.iter().map(|(_, it)| (it.size.div_ceil(scale)) as usize).collect();
 
-    // DP over capacities.
+    // DP over capacities. Chosen sets are tracked as bitmasks (one u64
+    // word per 64 items) so propagating a solution along the capacity
+    // axis is a word copy, not a per-item boolean clone — the DP runs on
+    // the tuner's critical path (once per skip-proof attempt), where the
+    // clone-per-cell variant dominated the epoch-boundary wall time.
+    let words = rest.len().div_ceil(64);
     let mut best = vec![0.0f64; cap + 1];
-    let mut take = vec![vec![false; rest.len()]; cap + 1];
+    let mut take = vec![0u64; (cap + 1) * words];
     for (j, &(_, it)) in rest.iter().enumerate() {
         let sz = sizes[j];
         if sz > cap {
@@ -102,17 +117,19 @@ pub fn solve(items: &[Item], capacity: u64) -> Vec<usize> {
             let candidate = best[c - sz] + it.value;
             if candidate > best[c] {
                 best[c] = candidate;
-                let mut chosen = take[c - sz].clone();
-                chosen[j] = true;
-                take[c] = chosen;
+                let (src, dst) = (c - sz, c);
+                for w in 0..words {
+                    take[dst * words + w] = take[src * words + w];
+                }
+                take[dst * words + j / 64] |= 1 << (j % 64);
             }
         }
     }
 
     let mut out = always;
-    for (j, taken) in take[cap].iter().enumerate() {
-        if *taken {
-            out.push(rest[j].0);
+    for (j, (i, _)) in rest.iter().enumerate() {
+        if take[cap * words + j / 64] & (1 << (j % 64)) != 0 {
+            out.push(*i);
         }
     }
     out.sort_unstable();

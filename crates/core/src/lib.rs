@@ -35,6 +35,7 @@ pub mod obs_export;
 pub mod organizer;
 pub mod profiler;
 pub mod prng;
+pub mod rebudget;
 pub mod scheduler;
 pub mod trace;
 pub mod tuner;
@@ -46,6 +47,7 @@ pub use gain::{GainStats, IndexClusterStats};
 pub use obs_export::{event_json, snapshot_json};
 pub use organizer::{ReorgDecision, SelfOrganizer};
 pub use profiler::{GainMode, ProfileOutcome, Profiler};
+pub use rebudget::{CandidateInterval, DecisionContext};
 pub use scheduler::{AppliedChanges, MaterializationStrategy, Scheduler};
 pub use trace::{EpochRecord, Trace};
 pub use tuner::{ColtTuner, TunerStep};

@@ -77,6 +77,7 @@ pub fn decision_json(record: &DecisionRecord) -> Json {
 /// lockstep.
 const LEDGER_COUNT_KINDS: &[&str] = &[
     "whatif_probe",
+    "whatif_skip",
     "cluster_assign",
     "knapsack",
     "index_create",

@@ -23,6 +23,7 @@ use crate::forecast;
 use crate::hotset::select_hot;
 use crate::knapsack::{self, Item};
 use crate::profiler::{GainMode, Profiler};
+use crate::rebudget::{CandidateInterval, DecisionContext};
 use colt_catalog::{ColRef, Database, PhysicalConfig};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -53,6 +54,11 @@ pub struct ReorgDecision {
     pub net_benefit_m: f64,
     /// Aggregate `NetBenefit(M′)` under the best-case scenario.
     pub net_benefit_m_prime: f64,
+    /// Per-candidate value intervals for next epoch's what-if
+    /// skip-proofs (see [`crate::rebudget`]): every priced index in
+    /// `H ∪ M` plus the freshly selected hot columns, bracketed by the
+    /// conservative and best-case knapsack values computed above.
+    pub context: DecisionContext,
 }
 
 /// The Self-Organizer.
@@ -305,6 +311,41 @@ impl SelfOrganizer {
             }
         }
 
+        // --- Decision context for next epoch's skip-proofs. ---
+        // The reorganization values (conservative) and the best-case
+        // values (optimistic) already bracket what a probe can change;
+        // package them with the budget so the Profiler can prove
+        // individual probes redundant. The per-query→net-benefit scale
+        // is the memory window's query count (epoch benefit is at most
+        // `total/h · g`, projected over the `h`-epoch horizon).
+        let total_window: u64 =
+            profiler.clusters().live().map(|(_, c)| c.window_count()).sum();
+        let mut context = DecisionContext::new(self.budget_pages, total_window as f64);
+        for (i, &col) in pool.iter().enumerate() {
+            let mat_cost =
+                if config.contains(col) { 0.0 } else { Self::estimated_mat_cost(db, col) };
+            context.insert(
+                col,
+                CandidateInterval {
+                    size: items[i].size,
+                    lo: items[i].value,
+                    hi: opt_items[i].value,
+                    mat_cost,
+                },
+            );
+        }
+        for &col in new_hot.iter().filter(|c| !pool.contains(c)) {
+            context.insert(
+                col,
+                CandidateInterval {
+                    size: Self::index_pages(db, config, col),
+                    lo: self.net_benefit_of(db, config, profiler, col, false),
+                    hi: self.net_benefit_of(db, config, profiler, col, true),
+                    mat_cost: Self::estimated_mat_cost(db, col),
+                },
+            );
+        }
+
         let eps = 1e-9;
         let ratio = if net_benefit_m > eps {
             (net_benefit_m_prime / net_benefit_m).max(1.0)
@@ -341,6 +382,7 @@ impl SelfOrganizer {
             ratio,
             net_benefit_m,
             net_benefit_m_prime,
+            context,
         }
     }
 }
@@ -494,6 +536,36 @@ mod tests {
         let d = org.reorganize(&db, &cfg, &profiler, &BTreeSet::new());
         assert!(d.new_hot.contains(&col), "promising candidate becomes hot");
         assert!(d.next_budget > 0, "budget must wake up, got {}", d.next_budget);
+    }
+
+    #[test]
+    fn decision_context_prices_pool_and_fresh_hot_candidates() {
+        let (db, t) = setup();
+        let cfg = PhysicalConfig::new();
+        let colt_cfg = ColtConfig::default();
+        let mut profiler = Profiler::new(&colt_cfg);
+        let mut org = SelfOrganizer::new(&colt_cfg);
+        let col = ColRef::new(t, 0);
+        let q = Query::single(t, vec![SelPred::eq(col, 7i64)]);
+        profile_n(&mut profiler, &db, &cfg, &q, &BTreeSet::new(), 10);
+        let d = org.reorganize(&db, &cfg, &profiler, &BTreeSet::new());
+        assert!(d.new_hot.contains(&col));
+        // The freshly selected hot candidate is priced into the frame
+        // with a normalized, crude-projected interval: wide enough that
+        // its first probe is never skipped.
+        let it = *d.context.interval(col).expect("fresh hot candidate priced");
+        assert!(it.hi >= it.lo);
+        assert!(it.hi > 0.0, "crude projection must drive the upper bound");
+        assert!(it.mat_cost > 0.0);
+        assert_eq!(d.context.len(), d.new_hot.len(), "pool is empty in this run");
+
+        // Once the candidate is hot and profiled, the next boundary
+        // prices it from the pool with the measured interval.
+        profiler.end_epoch(d.next_budget);
+        profile_n(&mut profiler, &db, &cfg, &q, &d.new_hot, 10);
+        let d2 = org.reorganize(&db, &cfg, &profiler, &d.new_hot);
+        let it2 = *d2.context.interval(col).expect("pool candidate priced");
+        assert!(it2.hi >= it2.lo);
     }
 
     #[test]

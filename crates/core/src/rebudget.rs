@@ -1,0 +1,333 @@
+//! Dynamic what-if budget reallocation: skip-proofs over per-candidate
+//! gain intervals (in the spirit of Wii's "what-if call interception").
+//!
+//! At each epoch boundary the Self-Organizer already prices every index
+//! in `H ∪ M` twice — once with conservative estimates (the values the
+//! reorganization knapsack actually used) and once with optimistic upper
+//! bounds (the re-budgeting best case). Those two prices bracket the
+//! knapsack value the candidate can take once a what-if probe refines
+//! its statistics. This module packages that bracket as a
+//! [`DecisionContext`] the Profiler consults *before* issuing a probe:
+//! if solving the knapsack with the candidate pinned at either end of
+//! its interval yields the same chosen set, no measurement inside the
+//! interval can alter the decision, so the probe is provably redundant
+//! this epoch and its budget is freed for less certain candidates.
+//!
+//! The soundness argument is elementary: fixing all other item values,
+//! the value of any index set containing candidate `c` is affine and
+//! strictly increasing in `c`'s value while sets without `c` are
+//! constant — all `c`-sets shift *uniformly*. Hence if the optimum at
+//! `lo` and at `hi` is the same set, it is optimal for every value in
+//! `[lo, hi]` (the `skip_proof_is_sound_on_random_instances` property
+//! test below re-derives this empirically on seeded random instances).
+//!
+//! The interval can be tightened mid-epoch with per-query evidence: the
+//! engine's what-if memo exposes a sound upper bound on the gain one
+//! probe can report (`Eqo::gain_upper_bound`), which the context
+//! projects onto the net-benefit scale before re-running the proof.
+//!
+//! The outer `r`-ratio control loop is untouched: skip-proofs only
+//! decide *which* probes to spend `#WI_lim` on, never how large
+//! `#WI_lim` is, so self-regulation semantics are unchanged whenever
+//! bounds are uninformative (fresh candidates carry the degenerate
+//! interval `[0, ∞)`-like crude projection and are always probed).
+
+use crate::knapsack::{self, Item};
+use colt_catalog::ColRef;
+use std::collections::BTreeMap;
+
+/// The bracket of knapsack values one candidate could take after a
+/// what-if probe, plus the constants needed to project per-query gain
+/// bounds onto the same scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateInterval {
+    /// Pages the index (would) occupy in the knapsack.
+    pub size: u64,
+    /// Conservative net benefit — the value the reorganization knapsack
+    /// used for this candidate.
+    pub lo: f64,
+    /// Optimistic net benefit — the re-budgeting best-case value.
+    pub hi: f64,
+    /// Estimated materialization cost (0 for already-materialized
+    /// indices), subtracted when projecting per-query gain bounds.
+    pub mat_cost: f64,
+}
+
+/// Cached proof outcome for one candidate, remembering the tightest
+/// upper bound it was established under.
+#[derive(Debug, Clone, Copy)]
+struct Verdict {
+    skip: bool,
+    hi: f64,
+}
+
+/// One epoch's knapsack decision frame: every priced candidate with its
+/// value interval, the storage budget, and memoized proof verdicts.
+///
+/// Built by [`SelfOrganizer::reorganize`](crate::organizer::SelfOrganizer)
+/// and installed into the [`Profiler`](crate::profiler::Profiler) for
+/// the following epoch.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionContext {
+    // BTreeMap: iterated when assembling knapsack instances, and kernel
+    // state must never depend on hash order.
+    items: BTreeMap<ColRef, CandidateInterval>,
+    budget_pages: u64,
+    /// Scale from a per-query gain bound to a net-benefit upper bound:
+    /// the window query count (`Σ_clusters Count(Q_i)` — the per-epoch
+    /// benefit is at most `total/h · g`, projected over the `h`-epoch
+    /// horizon).
+    gain_scale: f64,
+    verdicts: BTreeMap<ColRef, Verdict>,
+    /// Lazily computed all-conservative solution. `solve_with(c, lo_c)`
+    /// pins every item (including `c`) at its conservative price, so it
+    /// is the *same* knapsack instance for every candidate — one solve
+    /// serves the lo side of every proof in the epoch.
+    base_solution: Option<Vec<ColRef>>,
+}
+
+/// A failed proof is only re-attempted when the new upper bound is
+/// tighter than the failed one by at least this fraction of the
+/// candidate's interval width. Re-proving on every epsilon improvement
+/// would re-solve the knapsack once per query; deferring until the
+/// bound has moved materially costs nothing but a few extra issued
+/// probes (the conservative direction — skipping still requires a
+/// fresh successful proof).
+const REPROOF_MARGIN: f64 = 0.05;
+
+impl DecisionContext {
+    /// Empty context over a storage budget; `gain_scale` projects a
+    /// per-query gain bound onto the net-benefit scale (see field doc).
+    pub fn new(budget_pages: u64, gain_scale: f64) -> Self {
+        DecisionContext {
+            items: BTreeMap::new(),
+            budget_pages,
+            gain_scale: gain_scale.max(0.0),
+            verdicts: BTreeMap::new(),
+            base_solution: None,
+        }
+    }
+
+    /// Price a candidate into the frame (intervals are normalized so
+    /// `hi >= lo`).
+    pub fn insert(&mut self, col: ColRef, interval: CandidateInterval) {
+        let hi = interval.hi.max(interval.lo);
+        self.items.insert(col, CandidateInterval { hi, ..interval });
+        self.base_solution = None;
+    }
+
+    /// Number of priced candidates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the frame prices no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The priced interval of a candidate, if any.
+    pub fn interval(&self, col: ColRef) -> Option<&CandidateInterval> {
+        self.items.get(&col)
+    }
+
+    /// Interval width — the candidate's decision uncertainty. Unpriced
+    /// candidates are maximally uncertain (infinite width), which sorts
+    /// them first when freed budget is reallocated.
+    pub fn width(&self, col: ColRef) -> f64 {
+        match self.items.get(&col) {
+            Some(it) => it.hi - it.lo,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Solve the frame's knapsack with `col` pinned at `value` and every
+    /// other candidate at its conservative price, returning the chosen
+    /// set of columns.
+    fn solve_with(&self, col: ColRef, value: f64) -> Vec<ColRef> {
+        let mut order = Vec::with_capacity(self.items.len());
+        let mut items = Vec::with_capacity(self.items.len());
+        for (&c, it) in &self.items {
+            order.push(c);
+            items.push(Item { size: it.size, value: if c == col { value } else { it.lo } });
+        }
+        knapsack::solve(&items, self.budget_pages).into_iter().map(|i| order[i]).collect()
+    }
+
+    /// Run the skip-proof for `col`, optionally tightening the upper
+    /// bound with a per-query gain bound from the engine's what-if memo.
+    ///
+    /// Returns `Some((lo, hi))` — the interval the proof fired over —
+    /// when no value in the candidate's interval can change the knapsack
+    /// solution, so the probe can be skipped without charging the
+    /// budget; `None` when the probe must be issued (including for
+    /// unpriced candidates, whose bounds are uninformative).
+    ///
+    /// Verdicts are memoized per epoch: a candidate already proven
+    /// skippable stays skipped, and a failed proof is only re-attempted
+    /// when a materially tighter upper bound arrives (see
+    /// [`REPROOF_MARGIN`]).
+    pub fn skip_proof(&mut self, col: ColRef, gain_bound: Option<f64>) -> Option<(f64, f64)> {
+        let it = *self.items.get(&col)?;
+        let mut hi = it.hi;
+        if let Some(g) = gain_bound {
+            let projected = self.gain_scale * g.max(0.0) - it.mat_cost;
+            hi = hi.min(projected.max(it.lo));
+        }
+        if let Some(v) = self.verdicts.get(&col) {
+            if v.skip {
+                return Some((it.lo, v.hi));
+            }
+            if hi >= v.hi - 1e-12 - REPROOF_MARGIN * (it.hi - it.lo) {
+                return None; // not materially tighter than the failed proof
+            }
+        }
+        // A zero-width interval cannot straddle a decision boundary: both
+        // endpoint solves are the same instance, so skip without solving.
+        let skip = hi <= it.lo || {
+            if self.base_solution.is_none() {
+                let base = self.solve_with(col, it.lo);
+                self.base_solution = Some(base);
+            }
+            self.base_solution.as_deref() == Some(&self.solve_with(col, hi)[..])
+        };
+        self.verdicts.insert(col, Verdict { skip, hi });
+        if skip {
+            Some((it.lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::Prng;
+    use colt_catalog::TableId;
+
+    fn col(i: u32) -> ColRef {
+        ColRef::new(TableId(0), i)
+    }
+
+    fn iv(size: u64, lo: f64, hi: f64) -> CandidateInterval {
+        CandidateInterval { size, lo, hi, mat_cost: 0.0 }
+    }
+
+    #[test]
+    fn hopeless_candidate_is_skipped() {
+        // Budget fits one index; the incumbent's value dwarfs the
+        // candidate's whole interval, so probing cannot matter.
+        let mut ctx = DecisionContext::new(10, 0.0);
+        ctx.insert(col(0), iv(10, 100.0, 100.0));
+        ctx.insert(col(1), iv(10, 1.0, 5.0));
+        assert_eq!(ctx.skip_proof(col(1), None), Some((1.0, 5.0)));
+    }
+
+    #[test]
+    fn locked_in_candidate_is_skipped() {
+        // The candidate wins at both ends of its interval: equally
+        // decided, equally skippable.
+        let mut ctx = DecisionContext::new(10, 0.0);
+        ctx.insert(col(0), iv(10, 1.0, 1.0));
+        ctx.insert(col(1), iv(10, 50.0, 80.0));
+        assert_eq!(ctx.skip_proof(col(1), None), Some((50.0, 80.0)));
+    }
+
+    #[test]
+    fn straddling_candidate_must_be_probed() {
+        // At lo the incumbent wins, at hi the candidate displaces it:
+        // the probe decides the epoch.
+        let mut ctx = DecisionContext::new(10, 0.0);
+        ctx.insert(col(0), iv(10, 10.0, 10.0));
+        ctx.insert(col(1), iv(10, 5.0, 50.0));
+        assert_eq!(ctx.skip_proof(col(1), None), None);
+    }
+
+    #[test]
+    fn unpriced_candidate_is_never_skipped() {
+        let mut ctx = DecisionContext::new(10, 0.0);
+        ctx.insert(col(0), iv(10, 10.0, 10.0));
+        assert_eq!(ctx.skip_proof(col(9), None), None);
+        assert!(ctx.width(col(9)).is_infinite(), "unpriced = maximally uncertain");
+    }
+
+    #[test]
+    fn engine_bound_tightens_the_proof() {
+        // Same straddling instance as above, but the engine's memoized
+        // base cost caps the reachable gain below the decision boundary.
+        let mut ctx = DecisionContext::new(10, 2.0);
+        ctx.insert(col(0), iv(10, 10.0, 10.0));
+        ctx.insert(col(1), iv(10, 5.0, 50.0));
+        // projected hi = 2.0 * 4.0 - 0 = 8.0 < 10.0: cannot displace.
+        assert_eq!(ctx.skip_proof(col(1), Some(4.0)), Some((5.0, 8.0)));
+    }
+
+    #[test]
+    fn verdicts_are_memoized_and_upgrade_on_tighter_bounds() {
+        let mut ctx = DecisionContext::new(10, 2.0);
+        ctx.insert(col(0), iv(10, 10.0, 10.0));
+        ctx.insert(col(1), iv(10, 5.0, 50.0));
+        assert_eq!(ctx.skip_proof(col(1), None), None);
+        // A looser (or equal) bound reuses the failed verdict.
+        assert_eq!(ctx.skip_proof(col(1), Some(30.0)), None);
+        // A strictly tighter bound re-runs the proof and flips it.
+        assert_eq!(ctx.skip_proof(col(1), Some(4.0)), Some((5.0, 8.0)));
+        // The skip verdict then sticks, even if later bounds are loose.
+        assert_eq!(ctx.skip_proof(col(1), None), Some((5.0, 8.0)));
+    }
+
+    #[test]
+    fn mat_cost_is_subtracted_from_projected_bounds() {
+        let mut ctx = DecisionContext::new(10, 2.0);
+        ctx.insert(col(0), iv(10, 10.0, 10.0));
+        ctx.insert(
+            col(1),
+            CandidateInterval { size: 10, lo: 5.0, hi: 50.0, mat_cost: 3.0 },
+        );
+        // projected hi = 2.0 * 4.0 - 3.0 = 5.0: pinned at lo, skip.
+        assert_eq!(ctx.skip_proof(col(1), Some(4.0)), Some((5.0, 5.0)));
+    }
+
+    /// Seeded property test (the soundness theorem, empirically): on
+    /// random candidate frames, whenever the skip-proof fires for a
+    /// candidate, the knapsack solved with that candidate at *any* value
+    /// inside its interval yields exactly the chosen set of the
+    /// conservative solution — i.e. the skipped probe could not have
+    /// changed the decision, so knapsacks with and without the skipped
+    /// probe agree.
+    #[test]
+    fn skip_proof_is_sound_on_random_instances() {
+        let mut prng = Prng::new(0x5EED_5EED);
+        let mut fired = 0usize;
+        let mut cases = 0usize;
+        while cases < 40 {
+            cases += 1;
+            let n = 2 + (prng.next_u64() % 7) as usize;
+            let budget = 10 + prng.next_u64() % 90;
+            let mut ctx = DecisionContext::new(budget, 0.0);
+            for i in 0..n {
+                let size = 1 + prng.next_u64() % 40;
+                let lo = (prng.next_u64() % 1000) as f64 / 10.0;
+                let hi = lo + (prng.next_u64() % 500) as f64 / 10.0;
+                ctx.insert(col(i as u32), CandidateInterval { size, lo, hi, mat_cost: 0.0 });
+            }
+            for i in 0..n {
+                let c = col(i as u32);
+                let Some((lo, hi)) = ctx.skip_proof(c, None) else { continue };
+                fired += 1;
+                let baseline = ctx.solve_with(c, lo);
+                // Endpoints plus interior samples of the interval.
+                for k in 0..=4 {
+                    let v = lo + (hi - lo) * k as f64 / 4.0;
+                    assert_eq!(
+                        ctx.solve_with(c, v),
+                        baseline,
+                        "case {cases}: probe at {v} in [{lo}, {hi}] changed the decision"
+                    );
+                }
+            }
+        }
+        assert!(fired > 10, "proof must fire on a healthy fraction of instances, got {fired}");
+    }
+}

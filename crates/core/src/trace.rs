@@ -16,6 +16,9 @@ pub struct EpochRecord {
     pub whatif_used: u64,
     /// The budget `#WI_lim` that was in force.
     pub whatif_limit: u64,
+    /// Probes proven redundant by skip-proofs and skipped (charging
+    /// nothing against the budget).
+    pub whatif_skipped: u64,
     /// Budget granted to the next epoch by re-budgeting.
     pub next_budget: u64,
     /// Re-budgeting ratio `r`.
@@ -169,6 +172,7 @@ impl EpochRecord {
             epoch,
             whatif_used: 0,
             whatif_limit: 0,
+            whatif_skipped: 0,
             next_budget: 0,
             ratio: 0.0,
             net_benefit_m: 0.0,
@@ -189,6 +193,7 @@ impl EpochRecord {
             ("epoch", Json::UInt(self.epoch)),
             ("whatif_used", Json::UInt(self.whatif_used)),
             ("whatif_limit", Json::UInt(self.whatif_limit)),
+            ("whatif_skipped", Json::UInt(self.whatif_skipped)),
             ("next_budget", Json::UInt(self.next_budget)),
             ("ratio", Json::Float(self.ratio)),
             ("net_benefit_m", Json::Float(self.net_benefit_m)),
@@ -214,6 +219,7 @@ mod tests {
             epoch,
             whatif_used: whatif,
             whatif_limit: 20,
+            whatif_skipped: 0,
             next_budget: 10,
             ratio: 1.1,
             net_benefit_m: 100.0,

@@ -187,6 +187,7 @@ impl ColtTuner {
         let _span = colt_obs::span("tuner.epoch");
         let whatif_used = self.profiler.whatif_used();
         let whatif_limit = self.profiler.whatif_limit();
+        let whatif_skipped = self.profiler.whatif_skipped();
 
         let decision = self.organizer.reorganize(db, physical, &self.profiler, &self.hot);
         let changes =
@@ -258,6 +259,7 @@ impl ColtTuner {
             epoch: self.epoch,
             whatif_used,
             whatif_limit,
+            whatif_skipped,
             next_budget: decision.next_budget,
             ratio: decision.ratio,
             net_benefit_m: decision.net_benefit_m,
@@ -273,6 +275,9 @@ impl ColtTuner {
 
         self.hot = decision.new_hot;
         self.profiler.end_epoch(decision.next_budget);
+        // The boundary's value intervals become next epoch's skip-proof
+        // frame (after end_epoch, which drops the stale one).
+        self.profiler.install_context(decision.context);
         // Sweep the what-if memo against the post-reorganization
         // configuration: entries on tables this epoch touched drop,
         // everything else carries into the next epoch.

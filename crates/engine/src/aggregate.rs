@@ -15,11 +15,12 @@
 use crate::batch::TableLayout;
 use crate::error::ExecError;
 use crate::executor::{Executor, QueryResult};
-use crate::plan::Plan;
+use crate::plan::{Plan, PlanNode};
 use crate::query::Query;
 use colt_catalog::ColRef;
 use colt_storage::{IoStats, Value};
-use std::collections::BTreeMap;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// An aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +142,26 @@ fn resolve(
     Ok(pos)
 }
 
+/// Resolve a spec's group-by and aggregate columns against a layout.
+#[allow(clippy::type_complexity)]
+fn resolve_spec(
+    db: &colt_catalog::Database,
+    layout: &TableLayout,
+    spec: &AggSpec,
+) -> Result<(Vec<usize>, Vec<Option<usize>>), ExecError> {
+    let group_pos = spec
+        .group_by
+        .iter()
+        .map(|&c| resolve(db, layout, c))
+        .collect::<Result<_, ExecError>>()?;
+    let agg_pos = spec
+        .exprs
+        .iter()
+        .map(|e| e.col.map(|c| resolve(db, layout, c)).transpose())
+        .collect::<Result<_, ExecError>>()?;
+    Ok((group_pos, agg_pos))
+}
+
 impl<'a> Executor<'a> {
     /// Execute a plan and aggregate its result per `spec`. Output rows
     /// are `group_by` values followed by one value per aggregate, in
@@ -153,43 +174,84 @@ impl<'a> Executor<'a> {
         spec: &AggSpec,
     ) -> Result<(QueryResult, Vec<Vec<Value>>), ExecError> {
         let mut io = IoStats::new();
-        let input = self.run(query, &plan.root, &mut io, true)?;
         let db = self.database();
-        let group_pos: Vec<usize> = spec
-            .group_by
-            .iter()
-            .map(|&c| resolve(db, &input.layout, c))
-            .collect::<Result<_, ExecError>>()?;
-        let agg_pos: Vec<Option<usize>> = spec
-            .exprs
-            .iter()
-            .map(|e| e.col.map(|c| resolve(db, &input.layout, c)).transpose())
-            .collect::<Result<_, ExecError>>()?;
+        // A single-scan plan's output layout is known before execution,
+        // so the fold's column needs push down as a scan projection:
+        // only group-by and aggregate input columns are materialized
+        // (scan predicates are evaluated on the heap rows before the
+        // gather, so they need no projection entry). Join plans settle
+        // their layout during execution — build/probe order is
+        // cost-based — so they run unprojected. Charges are identical
+        // either way; the projection only skips value clones.
+        let (input, group_pos, agg_pos) = match &plan.root {
+            PlanNode::Scan { table, path, .. } => {
+                let layout = TableLayout::single(db, *table);
+                let (group_pos, agg_pos) = resolve_spec(db, &layout, spec)?;
+                let mut proj: Vec<usize> =
+                    group_pos.iter().copied().chain(agg_pos.iter().flatten().copied()).collect();
+                proj.sort_unstable();
+                proj.dedup();
+                let input = self.run_scan(query, *table, path, &mut io, true, Some(&proj))?;
+                (input, group_pos, agg_pos)
+            }
+            root => {
+                let input = self.run(query, root, &mut io, true)?;
+                let (group_pos, agg_pos) = resolve_spec(db, &input.layout, spec)?;
+                (input, group_pos, agg_pos)
+            }
+        };
 
-        // BTreeMap keyed by the group-by values: accumulation order is the
-        // input row order either way, but emission order falls out sorted
-        // and independent of any hash seed.
+        // Group lookup is hash-based, key column at a time, mirroring the
+        // hash-join build phase. Deliberately HashMaps: point-lookup only
+        // — never iterated — each maps a key to its index in the `keys` /
+        // `groups` side tables, and emission sorts `keys`, so no hash
+        // order can reach the result. (colt-analyze's hash-iteration lint
+        // verifies the "never iterated" part.) Single-column keys borrow
+        // the batch value and skip the per-row key Vec entirely; a group's
+        // key is cloned once, on first sight.
         let _batch_span = colt_obs::span("engine.exec.batch");
-        let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<Vec<Acc>> = Vec::new();
         if spec.group_by.is_empty() {
-            groups.insert(Vec::new(), spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+            keys.push(Vec::new());
+            groups.push(spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
         }
+        let mut single: HashMap<&Value, usize> = HashMap::new();
+        let mut multi: HashMap<Vec<Value>, usize> = HashMap::new();
         for b in &input.batches {
             for r in b.live() {
-                let key: Vec<Value> = group_pos.iter().map(|&p| b.val(p, r).clone()).collect();
-                let accs = groups
-                    .entry(key)
-                    .or_insert_with(|| spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
-                for (acc, pos) in accs.iter_mut().zip(&agg_pos) {
+                let g = if spec.group_by.is_empty() {
+                    0
+                } else if let [key_pos] = group_pos[..] {
+                    *single.entry(b.val(key_pos, r)).or_insert_with_key(|&v| {
+                        keys.push(vec![v.clone()]);
+                        groups.push(spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+                        groups.len() - 1
+                    })
+                } else {
+                    let key: Vec<Value> =
+                        group_pos.iter().map(|&p| b.val(p, r).clone()).collect();
+                    match multi.entry(key) {
+                        Entry::Occupied(o) => *o.get(),
+                        Entry::Vacant(v) => {
+                            keys.push(v.key().clone());
+                            groups.push(spec.exprs.iter().map(|e| Acc::new(e.func)).collect());
+                            *v.insert(groups.len() - 1)
+                        }
+                    }
+                };
+                for (acc, pos) in groups[g].iter_mut().zip(&agg_pos) {
                     acc.feed(pos.map(|p| b.val(p, r)));
                 }
                 io.cpu_ops += spec.exprs.len() as u64 + 1;
             }
         }
 
-        // Group keys are unique, so emitting in BTreeMap key order is the
-        // same order `out.sort()` used to produce.
-        let out: Vec<Vec<Value>> = groups
+        // Group keys are unique, so sorting the side tables by key gives
+        // the same emission order the old BTreeMap fold produced.
+        let mut pairs: Vec<(Vec<Value>, Vec<Acc>)> = keys.into_iter().zip(groups).collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let out: Vec<Vec<Value>> = pairs
             .into_iter()
             .map(|(mut key, accs)| {
                 key.extend(accs.into_iter().map(Acc::finish));

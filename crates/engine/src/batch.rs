@@ -151,6 +151,18 @@ impl ColumnBatch {
         ColumnBatch { columns, rows, sel: None }
     }
 
+    /// Internal: a dense batch with an explicit row count whose
+    /// non-materialized columns are left *empty* (a scan-level
+    /// projection). Only valid when every consumer reads materialized
+    /// columns exclusively — the aggregate fold over a single-scan plan
+    /// guarantees this by projecting exactly the columns it touches.
+    /// Reading a pruned column via [`ColumnBatch::val`] panics, loudly,
+    /// instead of returning wrong data.
+    pub(crate) fn dense_projected(columns: Vec<Vec<Value>>, rows: usize) -> Self {
+        debug_assert!(columns.iter().all(|c| c.is_empty() || c.len() == rows));
+        ColumnBatch { columns, rows, sel: None }
+    }
+
     /// Internal: move this batch's live rows onto the end of `cols`
     /// (one target vector per column). Dense batches move their column
     /// vectors wholesale; selected batches copy only live rows.

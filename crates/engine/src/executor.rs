@@ -186,7 +186,7 @@ impl<'a> Executor<'a> {
         let (result, own_io) = match node {
             PlanNode::Scan { table, path, .. } => {
                 let before = *io;
-                let b = self.run_scan(query, *table, path, io, true)?;
+                let b = self.run_scan(query, *table, path, io, true, None)?;
                 (b, *io - before)
             }
             PlanNode::HashJoin { build, probe, on, .. } => {
@@ -241,7 +241,9 @@ impl<'a> Executor<'a> {
         need: bool,
     ) -> Result<OpOutput, ExecError> {
         match node {
-            PlanNode::Scan { table, path, .. } => self.run_scan(query, *table, path, io, need),
+            PlanNode::Scan { table, path, .. } => {
+                self.run_scan(query, *table, path, io, need, None)
+            }
             PlanNode::HashJoin { build, probe, on, .. } => {
                 colt_obs::counter("engine.op.hash_join", 1);
                 let b = self.run(query, build, io, true)?;
@@ -256,13 +258,22 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn run_scan(
+    /// Run one scan node. `proj`, when present, lists the only column
+    /// offsets whose values the consumer will read: the gather then
+    /// materializes just those columns and leaves the rest empty (see
+    /// [`ColumnBatch::dense_projected`]). Selection predicates are
+    /// evaluated against the heap rows *before* the gather, so predicate
+    /// columns never need to appear in `proj`. Charges are identical
+    /// with and without a projection — the cost model counts pages and
+    /// tuples processed, not values copied.
+    pub(crate) fn run_scan(
         &self,
         query: &Query,
         table: TableId,
         path: &AccessPath,
         io: &mut IoStats,
         need: bool,
+        proj: Option<&[usize]>,
     ) -> Result<OpOutput, ExecError> {
         colt_obs::counter(
             match path {
@@ -290,7 +301,7 @@ impl<'a> Executor<'a> {
                     select_rows(chunk, &preds, None, &mut sel);
                     count += sel.len() as u64;
                     if need && !sel.is_empty() {
-                        batches.push(gather_rows(chunk, &sel, layout.width()));
+                        batches.push(gather_rows(chunk, &sel, layout.width(), proj));
                     }
                 }
             }
@@ -303,7 +314,7 @@ impl<'a> Executor<'a> {
                     select_rows(chunk, &preds, None, &mut sel);
                     count += sel.len() as u64;
                     if need && !sel.is_empty() {
-                        batches.push(gather_rows(chunk, &sel, layout.width()));
+                        batches.push(gather_rows(chunk, &sel, layout.width(), proj));
                     }
                 }
             }
@@ -318,7 +329,7 @@ impl<'a> Executor<'a> {
                     select_rows(chunk, &preds, Some(driver_idx), &mut sel);
                     count += sel.len() as u64;
                     if need && !sel.is_empty() {
-                        batches.push(gather_rows(chunk, &sel, layout.width()));
+                        batches.push(gather_rows(chunk, &sel, layout.width(), proj));
                     }
                 }
             }
@@ -637,13 +648,34 @@ pub(crate) fn select_rows<R: std::borrow::Borrow<Row>>(
 }
 
 /// Gather the selected rows of a chunk into a dense column batch,
-/// column by column.
-fn gather_rows<R: std::borrow::Borrow<Row>>(rows: &[R], sel: &[u32], width: usize) -> ColumnBatch {
-    let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(sel.len())).collect();
-    for (c, col) in cols.iter_mut().enumerate() {
+/// column by column. With a projection, only the listed column offsets
+/// are materialized — the rest stay empty (pruned), which is what makes
+/// the aggregate's scan-level projection pay: unread columns (string
+/// columns especially) are never cloned at all.
+fn gather_rows<R: std::borrow::Borrow<Row>>(
+    rows: &[R],
+    sel: &[u32],
+    width: usize,
+    proj: Option<&[usize]>,
+) -> ColumnBatch {
+    let mut cols: Vec<Vec<Value>> = vec![Vec::new(); width];
+    let gather = |col: &mut Vec<Value>, c: usize| {
+        col.reserve(sel.len());
         col.extend(sel.iter().map(|&i| rows[i as usize].borrow()[c].clone()));
+    };
+    match proj {
+        None => {
+            for (c, col) in cols.iter_mut().enumerate() {
+                gather(col, c);
+            }
+        }
+        Some(ps) => {
+            for &c in ps {
+                gather(&mut cols[c], c);
+            }
+        }
     }
-    ColumnBatch::dense(cols)
+    ColumnBatch::dense_projected(cols, sel.len())
 }
 
 /// The materialized single-column index a plan node refers to, or a

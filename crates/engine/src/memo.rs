@@ -45,10 +45,10 @@ use colt_catalog::{ColRef, CompositeKey, Database, PhysicalConfig, TableId};
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-/// Entries retained before FIFO eviction kicks in. Sized to hold every
-/// distinct template of a busy epoch; one entry is a plan, a scan
+/// Default entry bound before FIFO eviction kicks in. Sized to hold
+/// every distinct template of a busy epoch; one entry is a plan, a scan
 /// vector, and a handful of gains — a few kilobytes at most.
-const CAPACITY: usize = 4096;
+pub const DEFAULT_CAPACITY: usize = 4096;
 
 /// FNV-1a, fixed offset basis and prime: a deterministic, dependency-
 /// free 64-bit structural fingerprint (the standard library's default
@@ -143,8 +143,10 @@ pub struct MemoHandle(u64);
 /// The memo cache itself. Owned by [`crate::Eqo`]; all maps are ordered
 /// and ids are insertion-ordered, so iteration, eviction, and therefore
 /// hit/miss accounting are deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WhatIfMemo {
+    /// Entry bound; reaching it evicts the oldest entry (FIFO).
+    capacity: usize,
     /// Entries by insertion id; the smallest id is the oldest entry.
     entries: BTreeMap<u64, MemoEntry>,
     /// Fingerprint → (query, id) pairs; the vector resolves fingerprint
@@ -152,12 +154,39 @@ pub struct WhatIfMemo {
     index: BTreeMap<u64, Vec<(Query, u64)>>,
     /// Next entry id.
     next_id: u64,
+    /// Entries dropped by FIFO pressure (never by invalidation). An
+    /// eviction silently forgets a live template, so it must be
+    /// observable: `Eqo` exports this as `engine.whatif.memo_eviction`.
+    evicted: u64,
+}
+
+impl Default for WhatIfMemo {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 impl WhatIfMemo {
-    /// An empty memo.
+    /// An empty memo with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty memo bounded at `capacity` entries (min 1). Tests lower
+    /// the bound to exercise eviction pressure without 4096 templates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WhatIfMemo {
+            capacity: capacity.max(1),
+            entries: BTreeMap::new(),
+            index: BTreeMap::new(),
+            next_id: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Entries dropped by FIFO pressure since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evicted
     }
 
     /// Number of live entries (for tests and introspection).
@@ -196,12 +225,13 @@ impl WhatIfMemo {
                 }
             }
         }
-        if self.entries.len() >= CAPACITY {
+        if self.entries.len() >= self.capacity {
             // FIFO: ids are insertion-ordered, so the first key is the
             // oldest entry.
             if let Some((&oldest, e)) = self.entries.iter().next() {
                 let old_fp = e.fp;
                 self.remove(old_fp, oldest);
+                self.evicted += 1;
             }
         }
         let id = self.next_id;
@@ -213,6 +243,22 @@ impl WhatIfMemo {
         );
         self.index.entry(fp).or_default().push((query.clone(), id));
         (MemoHandle(id), invalidated)
+    }
+
+    /// The live, still-valid entry for `query`, without creating,
+    /// rebuilding, or evicting anything — the side-effect-free read
+    /// path behind [`crate::Eqo::gain_upper_bound`]. A stale entry is
+    /// left in place for `resolve` to count and rebuild.
+    pub fn peek(&self, db: &Database, config: &PhysicalConfig, query: &Query) -> Option<MemoHandle> {
+        let fp = fingerprint(query);
+        let id =
+            self.index.get(&fp)?.iter().find(|(q, _)| q == query).map(|&(_, id)| id)?;
+        let entry = self.entries.get(&id)?;
+        if entry.holds(db, config) {
+            Some(MemoHandle(id))
+        } else {
+            None
+        }
     }
 
     fn remove(&mut self, fp: u64, id: u64) {
@@ -358,22 +404,38 @@ mod tests {
         let col = ColRef::new(a, 0);
         let query_for = |i: i64| Query::single(a, vec![SelPred::eq(col, i)]);
         let mut handles = Vec::new();
-        for i in 0..(CAPACITY as i64 + 3) {
+        for i in 0..(DEFAULT_CAPACITY as i64 + 3) {
             let (h, _) = memo.resolve(&db, &cfg, &query_for(i));
             memo.store_gain(h, col, i as f64);
             handles.push(h);
         }
-        assert_eq!(memo.len(), CAPACITY);
+        assert_eq!(memo.len(), DEFAULT_CAPACITY);
+        assert_eq!(memo.evictions(), 3, "every FIFO drop is counted");
         // The three oldest templates were evicted, the newest survive.
         for (i, &h) in handles.iter().take(3).enumerate() {
             assert_eq!(memo.gain(h, col), None, "entry {i} evicted first");
         }
-        let last = CAPACITY + 2;
+        let last = DEFAULT_CAPACITY + 2;
         assert_eq!(memo.gain(handles[last], col), Some(last as f64));
         // Re-resolving an evicted template is a plain miss, not an
         // invalidation, and the cache stays bounded.
         assert!(!memo.resolve(&db, &cfg, &query_for(0)).1);
-        assert_eq!(memo.len(), CAPACITY);
+        assert_eq!(memo.len(), DEFAULT_CAPACITY);
+        assert_eq!(memo.evictions(), 4);
+    }
+
+    #[test]
+    fn lowered_capacity_evicts_under_pressure() {
+        let (db, a, _) = db2();
+        let cfg = PhysicalConfig::new();
+        let mut memo = WhatIfMemo::with_capacity(2);
+        let col = ColRef::new(a, 0);
+        for i in 0..5i64 {
+            let (h, _) = memo.resolve(&db, &cfg, &Query::single(a, vec![SelPred::eq(col, i)]));
+            memo.store_gain(h, col, i as f64);
+        }
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.evictions(), 3);
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub struct EqoCounters {
     /// materialized set, statistics, or row count of a referenced table
     /// changed, or an epoch sweep found them expired).
     pub memo_invalidations: u64,
+    /// Memo entries dropped by FIFO capacity pressure — a silent loss
+    /// of a still-valid template. Hits + misses stays equal to
+    /// whatif_calls + optimizations regardless (an evicted template is
+    /// simply re-derived as a miss), but sustained evictions mean the
+    /// memo is undersized for the workload's template count.
+    pub memo_evictions: u64,
 }
 
 /// The extended query optimizer.
@@ -104,6 +110,18 @@ impl<'a> Eqo<'a> {
         }
     }
 
+    /// An EQO whose what-if memo is bounded at `capacity` entries.
+    /// Tests lower the bound to put the memo under eviction pressure
+    /// without thousands of distinct templates.
+    pub fn with_memo_capacity(db: &'a Database, capacity: usize) -> Self {
+        Eqo {
+            opt: Optimizer::new(db),
+            db,
+            memo: WhatIfMemo::with_capacity(capacity),
+            counters: EqoCounters::default(),
+        }
+    }
+
     /// Work counters so far.
     pub fn counters(&self) -> EqoCounters {
         self.counters
@@ -140,7 +158,40 @@ impl<'a> Eqo<'a> {
             self.counters.memo_invalidations += 1;
             colt_obs::counter("engine.whatif.memo_invalidate", 1);
         }
+        let evicted = self.memo.evictions();
+        if evicted > self.counters.memo_evictions {
+            colt_obs::counter("engine.whatif.memo_evictions", evicted - self.counters.memo_evictions);
+            self.counters.memo_evictions = evicted;
+        }
         handle
+    }
+
+    /// An upper bound on `QueryGain(query, col)` read from the memoized
+    /// base access-path derivation, charging no what-if call.
+    ///
+    /// A hypothetical index can only *remove* cost from the base plan
+    /// (`gain = base_cost − probe_cost` with `probe_cost ≥ 0`), so the
+    /// memoized base cost bounds every forward probe from above; when
+    /// the exact gain is already memoized it is returned instead (a
+    /// zero-width interval). `None` when the template's base derivation
+    /// is not cached under the current configuration (the probe itself
+    /// will warm it) or when the candidate is materialized — a reverse
+    /// probe prices the cost of *losing* the index, which the base
+    /// vector cannot bound.
+    pub fn gain_upper_bound(
+        &self,
+        query: &Query,
+        col: ColRef,
+        config: &PhysicalConfig,
+    ) -> Option<f64> {
+        if config.contains(col) {
+            return None;
+        }
+        let handle = self.memo.peek(self.db, config, query)?;
+        if let Some(gain) = self.memo.gain(handle, col) {
+            return Some(gain);
+        }
+        self.memo.base(handle).map(|(_, base_cost)| base_cost.max(0.0))
     }
 
     /// Normal query optimization under the real configuration.
@@ -382,6 +433,56 @@ mod tests {
         // hits, so hits strictly dominate.
         assert!(c.memo_hits > c.memo_misses, "counters: {c:?}");
         assert_eq!(c.memo_invalidations, 0, "nothing changed, nothing invalidates");
+    }
+
+    #[test]
+    fn memo_accounting_holds_under_eviction_pressure() {
+        let (db, t) = db();
+        let cfg = PhysicalConfig::new();
+        let mut eqo = Eqo::with_memo_capacity(&db, 2);
+        let probes = [ColRef::new(t, 0)];
+        // Five distinct templates cycled through a two-entry memo: FIFO
+        // keeps evicting, so later rounds re-derive instead of hitting.
+        for _ in 0..2 {
+            for i in 0..5i64 {
+                let q = Query::single(t, vec![SelPred::eq(ColRef::new(t, 0), i)]);
+                eqo.what_if_optimize(&q, &probes, &cfg);
+            }
+        }
+        let c = eqo.counters();
+        assert!(c.memo_evictions > 0, "a 2-entry memo must evict: {c:?}");
+        assert_eq!(
+            c.memo_hits + c.memo_misses,
+            c.whatif_calls + c.optimizations,
+            "every derivation is a hit or a miss even when entries are evicted: {c:?}"
+        );
+        assert_eq!(eqo.memo_len(), 2, "the memo stays bounded");
+    }
+
+    #[test]
+    fn gain_upper_bound_is_sound_and_charges_nothing() {
+        let (db, t) = db();
+        let cfg = PhysicalConfig::new();
+        let mut eqo = Eqo::new(&db);
+        let col = ColRef::new(t, 0);
+        let other = ColRef::new(t, 1);
+        let q = Query::single(t, vec![SelPred::eq(col, 7i64), SelPred::eq(other, 3i64)]);
+        // Unseen template: nothing memoized, no bound.
+        assert_eq!(eqo.gain_upper_bound(&q, col, &cfg), None);
+        let gains = eqo.what_if_optimize(&q, &[col], &cfg);
+        let calls = eqo.counters().whatif_calls;
+        // Already-probed candidate: the exact memoized gain comes back.
+        assert_eq!(eqo.gain_upper_bound(&q, col, &cfg), Some(gains[0].gain));
+        // Unprobed candidate: the memoized base cost bounds its gain.
+        let bound = eqo.gain_upper_bound(&q, other, &cfg).expect("base is memoized");
+        let true_gain = eqo.what_if_optimize(&q, &[other], &cfg)[0].gain;
+        assert!(true_gain <= bound + 1e-9, "bound {bound} must dominate gain {true_gain}");
+        // Bound reads spend no what-if budget.
+        assert_eq!(eqo.counters().whatif_calls, calls + 1);
+        // Materialized candidates (reverse probes) have no bound.
+        let mut cfg2 = PhysicalConfig::new();
+        cfg2.create_index(&db, col, IndexOrigin::Online);
+        assert_eq!(eqo.gain_upper_bound(&q, col, &cfg2), None);
     }
 
     #[test]

@@ -147,6 +147,7 @@ pub fn render_index_explanations(run: &RunResult) -> String {
 /// in lockstep.
 pub const LEDGER_KIND_LABELS: &[(&str, &str)] = &[
     ("whatif_probe", "what-if probe"),
+    ("whatif_skip", "what-if skip"),
     ("cluster_assign", "cluster assignment"),
     ("knapsack", "knapsack solve"),
     ("index_create", "index created"),

@@ -202,6 +202,7 @@ mod tests {
                 epoch: i as u64,
                 whatif_used: *used,
                 whatif_limit: 20,
+                whatif_skipped: 0,
                 next_budget: 0,
                 ratio: 1.0,
                 net_benefit_m: 0.0,

@@ -23,6 +23,7 @@ pub const DEFAULT_SERIES_CAPACITY: usize = 4_096;
 /// `ledger-owner` lint).
 pub const LEDGER_KINDS: &[(&str, &str)] = &[
     ("whatif_probe", "core"),
+    ("whatif_skip", "core"),
     ("cluster_assign", "core"),
     ("knapsack", "core"),
     ("index_create", "core"),

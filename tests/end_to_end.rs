@@ -97,14 +97,23 @@ fn shifting_workload_beats_offline() {
 fn whatif_overhead_self_regulates() {
     let data = generate(SCALE, SEED);
     let preset = presets::shifting(&data, SEED);
-    let cfg = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
+    // Skip-proofs (PR 10) are pinned off: this test charts the paper's
+    // Figure 5 shape, which is the *un-skipped* profiler's budget usage.
+    // The skip-proof overhead profile is covered by the `rebudget_gate`
+    // bench and by `skip_proofs_cut_issued_probes` below.
+    let cfg = ColtConfig {
+        storage_budget_pages: preset.budget_pages,
+        dynamic_rebudget: false,
+        ..Default::default()
+    };
     let epoch_len = cfg.epoch_length;
     let max_budget = cfg.max_whatif_per_epoch;
     let colt = Experiment::new(&data.db, &preset.queries).policy(Policy::colt(cfg)).run().expect("run failed");
-    let series = colt.trace.whatif_per_epoch();
 
     // Budget respected everywhere.
-    assert!(series.iter().all(|&v| v <= max_budget));
+    assert!(colt.trace.whatif_per_epoch().iter().all(|&v| v <= max_budget));
+
+    let series: Vec<u64> = colt.trace.whatif_per_epoch();
 
     // Mean usage across stable (non-transition) epochs below half the
     // budget.
@@ -139,6 +148,49 @@ fn whatif_overhead_self_regulates() {
     let attrs: usize = referenced.iter().map(|&t| data.db.table(t).schema.arity()).sum();
     let frac = colt.profiled_indices as f64 / attrs as f64;
     assert!(frac < 0.25, "profiled fraction {frac:.2}");
+}
+
+/// Dynamic re-budgeting (PR 10, after Wii): skip-proofs intercept
+/// what-if probes whose gain interval provably cannot change the
+/// knapsack outcome, cutting issued probes on the shifting workload
+/// without changing the final index configuration or hurting
+/// performance.
+#[test]
+fn skip_proofs_cut_issued_probes() {
+    let data = generate(SCALE, SEED);
+    let preset = presets::shifting(&data, SEED);
+    let base = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
+    let on = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(base.clone()))
+        .run().expect("run failed");
+    let off = Experiment::new(&data.db, &preset.queries)
+        .policy(Policy::colt(ColtConfig { dynamic_rebudget: false, ..base }))
+        .run().expect("run failed");
+
+    let issued = |r: &colt_repro::harness::RunResult| -> u64 {
+        r.trace.epochs.iter().map(|e| e.whatif_used).sum()
+    };
+    let skipped = |r: &colt_repro::harness::RunResult| -> u64 {
+        r.trace.epochs.iter().map(|e| e.whatif_skipped).sum()
+    };
+    assert_eq!(skipped(&off), 0, "the off arm must not skip");
+    assert!(skipped(&on) > 0, "skip-proofs must fire on the shifting workload");
+    assert!(
+        (issued(&on) as f64) < 0.7 * issued(&off) as f64,
+        "issued probes {} (skip-proofs on) vs {} (off)",
+        issued(&on),
+        issued(&off)
+    );
+    // Decision-quality safety: skipping is only legal when it cannot
+    // change the knapsack outcome, so the tuner must land on the same
+    // final configuration and essentially the same charged time.
+    assert_eq!(on.final_indices, off.final_indices);
+    assert!(
+        on.total_millis() < off.total_millis() * 1.02,
+        "skip-proofs on {:.0} ms vs off {:.0} ms",
+        on.total_millis(),
+        off.total_millis()
+    );
 }
 
 /// Noise (paper Figure 6): short bursts are ignored — COLT stays within
@@ -180,7 +232,15 @@ fn self_regulation_saves_whatif_calls() {
     // and wake-ups (transitions), where the savings are most visible.
     let preset = presets::shifting(&data, SEED);
     let queries = &preset.queries[..700];
-    let base = ColtConfig { storage_budget_pages: preset.budget_pages, ..Default::default() };
+    // Skip-proofs are pinned off in BOTH arms: they intercept exactly
+    // the redundant probes the r-ratio would otherwise spend, so with
+    // them on the issued counts converge and no longer isolate the
+    // self-regulation mechanism this test is about.
+    let base = ColtConfig {
+        storage_budget_pages: preset.budget_pages,
+        dynamic_rebudget: false,
+        ..Default::default()
+    };
 
     let regulated = Experiment::new(&data.db, queries).policy(Policy::colt(base.clone())).run().expect("run failed");
     let fixed = Experiment::new(&data.db, queries)
